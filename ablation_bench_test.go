@@ -1,0 +1,175 @@
+package clmids
+
+// Ablation benchmarks for the design choices the paper motivates:
+//
+//   - §IV-D: the modified retrieval score (similarity to nearest malicious)
+//     versus the textbook kNN majority vote, under increasing label noise;
+//   - [CLS] probing versus mean-pooled features for the classification head
+//     at small encoder scale;
+//   - the §V-C ensemble versus the best single method.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"clmids/internal/anomaly"
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+	"clmids/internal/metrics"
+	"clmids/internal/tensor"
+	"clmids/internal/tuning"
+)
+
+// BenchmarkAblationRetrievalNoise compares the paper's modified retrieval
+// scoring with plain kNN majority voting as supervision labels degrade.
+// The modification's AUC should hold up while the vote collapses.
+func BenchmarkAblationRetrievalNoise(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	const n, dim = 600, 16
+	x := tensor.NewMatrix(n, dim)
+	truth := make([]bool, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		if i%10 == 0 {
+			truth[i] = true
+			row[1] = 1
+		} else {
+			row[0] = 1
+		}
+		for j := range row {
+			row[j] += rng.NormFloat64() * 0.08
+		}
+	}
+
+	evalAt := func(fnRate float64) (aucModified, accMajority float64) {
+		labels := make([]bool, n)
+		for i, t := range truth {
+			labels[i] = t && rng.Float64() >= fnRate // false negatives only
+		}
+		ret := anomaly.NewRetrieval(1)
+		if err := ret.FitLabeled(x, labels); err != nil {
+			b.Fatal(err)
+		}
+		var items []metrics.Scored
+		correct := 0
+		for i := 0; i < n; i++ {
+			items = append(items, metrics.Scored{
+				Line:          fmt.Sprintf("l%d", i),
+				Score:         ret.Score(x.Row(i)),
+				TrueIntrusion: truth[i],
+			})
+			if ret.MajorityVote(x.Row(i), 3) == truth[i] {
+				correct++
+			}
+		}
+		auc, err := metrics.ROCAUC(items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return auc, float64(correct) / float64(n)
+	}
+
+	var aucLow, aucHigh, accLow, accHigh float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aucLow, accLow = evalAt(0.1)
+		aucHigh, accHigh = evalAt(0.7)
+	}
+	b.StopTimer()
+	b.ReportMetric(aucLow, "auc-mod@fn0.1")
+	b.ReportMetric(aucHigh, "auc-mod@fn0.7")
+	b.ReportMetric(accLow, "acc-vote@fn0.1")
+	b.ReportMetric(accHigh, "acc-vote@fn0.7")
+	printTable("ablation-retrieval", func() {
+		fmt.Printf("== Ablation: retrieval under label noise (fn=0.1 -> 0.7) ==\n"+
+			"  modified score AUC: %.3f -> %.3f\n  majority-vote acc : %.3f -> %.3f\n",
+			aucLow, aucHigh, accLow, accHigh)
+	})
+}
+
+// BenchmarkAblationFeaturePooling compares [CLS] probing with mean-pooled
+// features for the classification head on the same backbone and labels.
+func BenchmarkAblationFeaturePooling(b *testing.B) {
+	ccfg := corpus.DefaultConfig()
+	ccfg.TrainLines = 1200
+	ccfg.TestLines = 600
+	ccfg.IntrusionRate = 0.2
+	train, test, err := corpus.Generate(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := core.TinyExperiment().Pipeline
+	pl, err := core.BuildPipeline(train.Lines(), pcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := make([]bool, len(train.Samples))
+	for i, s := range train.Samples {
+		labels[i] = s.Label == corpus.Intrusion
+	}
+
+	auc := func(meanPool bool) float64 {
+		cfg := tuning.DefaultClassifierConfig()
+		cfg.Epochs = 8
+		cfg.MeanPoolFeatures = meanPool
+		clf, err := pl.NewClassifier(train.Lines(), labels, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scores, err := clf.Score(test.Lines())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var items []metrics.Scored
+		for i, s := range test.Samples {
+			items = append(items, metrics.Scored{
+				Line:          fmt.Sprintf("%d", i),
+				Score:         scores[i],
+				TrueIntrusion: s.Label == corpus.Intrusion,
+			})
+		}
+		v, err := metrics.ROCAUC(items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+
+	var cls, mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls = auc(false)
+		mean = auc(true)
+	}
+	b.StopTimer()
+	b.ReportMetric(cls, "auc-cls")
+	b.ReportMetric(mean, "auc-meanpool")
+	printTable("ablation-pooling", func() {
+		fmt.Printf("== Ablation: head features at small scale: CLS AUC %.3f vs mean-pool AUC %.3f ==\n", cls, mean)
+	})
+}
+
+// BenchmarkAblationEnsemble reports the §V-C ensemble against the single
+// methods on the shared experiment (requires the ensemble-enabled config).
+func BenchmarkAblationEnsemble(b *testing.B) {
+	if os.Getenv("CLMIDS_BENCH_SCALE") != "small" {
+		b.Skip("ensemble is part of the small-scale experiment; set CLMIDS_BENCH_SCALE=small")
+	}
+	res := benchResults(b)
+	ens := res.Method(core.MethodEnsemble)
+	if ens == nil {
+		b.Skip("ensemble disabled in this configuration")
+	}
+	clf := res.Method(core.MethodClassification)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ens.PO.Mean < 0 {
+			b.Fatal("impossible")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(ens.PO.Mean, "PO-ensemble")
+	b.ReportMetric(clf.PO.Mean, "PO-classif")
+}

@@ -1,0 +1,311 @@
+package clmids
+
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation (§V) and prints the same rows the paper reports. Experiment
+// training is shared across benchmarks (it runs once per `go test -bench`
+// invocation); each benchmark then times its evaluation path and reports
+// the headline numbers as custom metrics.
+//
+// Scale: the default is the tiny preset (seconds). Set
+// CLMIDS_BENCH_SCALE=small to use the EXPERIMENTS.md scale (minutes).
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+	"clmids/internal/preprocess"
+	"clmids/internal/tuning"
+)
+
+var (
+	benchOnce sync.Once
+	benchRes  *core.Results
+	benchErr  error
+
+	benchUnsupOnce sync.Once
+	benchUnsupRes  *core.UnsupResults
+	benchUnsupErr  error
+)
+
+func benchConfig() core.ExperimentConfig {
+	if os.Getenv("CLMIDS_BENCH_SCALE") == "small" {
+		return core.SmallExperiment()
+	}
+	return core.TinyExperiment()
+}
+
+func benchResults(b *testing.B) *core.Results {
+	b.Helper()
+	benchOnce.Do(func() {
+		fmt.Fprintln(os.Stderr, "bench: training pipeline and all methods (shared across benchmarks)...")
+		benchRes, benchErr = core.Run(benchConfig())
+	})
+	if benchErr != nil {
+		b.Fatalf("experiment: %v", benchErr)
+	}
+	return benchRes
+}
+
+func benchUnsup(b *testing.B) *core.UnsupResults {
+	b.Helper()
+	benchUnsupOnce.Do(func() {
+		cfg := core.DefaultUnsupConfig()
+		if os.Getenv("CLMIDS_BENCH_SCALE") == "small" {
+			cfg.Corpus.TrainLines = 6000
+			cfg.Corpus.TestLines = 3000
+		}
+		benchUnsupRes, benchUnsupErr = core.RunUnsupervised(cfg)
+	})
+	if benchUnsupErr != nil {
+		b.Fatalf("unsupervised experiment: %v", benchUnsupErr)
+	}
+	return benchUnsupRes
+}
+
+// printOnce guards table printing so -benchtime reruns stay readable.
+var printed sync.Map
+
+func printTable(name string, emit func()) {
+	if _, loaded := printed.LoadOrStore(name, true); !loaded {
+		emit()
+	}
+}
+
+// BenchmarkFigure1Pipeline regenerates the Fig. 1 training pipeline
+// end-to-end: logging -> pre-processing -> tokenizer -> MLM pre-training.
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	ccfg := corpus.DefaultConfig()
+	ccfg.TrainLines = 400
+	ccfg.TestLines = 50
+	train, _, err := corpus.Generate(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := core.TinyExperiment().Pipeline
+	pcfg.Pretrain.Epochs = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildPipeline(train.Lines(), pcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Inference measures scoring throughput of the trained
+// system (tokens/s through the encoder), the deployment-side half of
+// Fig. 1.
+func BenchmarkFigure1Inference(b *testing.B) {
+	ccfg := corpus.DefaultConfig()
+	ccfg.TrainLines = 400
+	ccfg.TestLines = 100
+	train, test, err := corpus.Generate(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := core.TinyExperiment().Pipeline
+	pcfg.Pretrain.Epochs = 1
+	pl, err := core.BuildPipeline(train.Lines(), pcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := test.Lines()
+	tokens := 0
+	for _, l := range lines {
+		tokens += len(pl.Tok.EncodeForModel(l, pl.Model.Encoder.Config().MaxSeqLen))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuning.EmbedLines(pl.Model.Encoder, pl.Tok, lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(tokens)
+	b.ReportMetric(perOp*float64(b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkFigure2Preprocessing regenerates the Fig. 2 pre-processing:
+// parser rejection plus the command-frequency filter, reporting the drop
+// counts alongside throughput.
+func BenchmarkFigure2Preprocessing(b *testing.B) {
+	res := benchResults(b)
+	printTable("fig2", func() { res.WriteFig2(os.Stdout) })
+
+	ccfg := corpus.DefaultConfig()
+	ccfg.TrainLines = 2000
+	ccfg.TestLines = 100
+	train, _, err := corpus.Generate(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := train.Lines()
+	p := preprocess.New(preprocess.DefaultConfig())
+	p.Fit(lines)
+	b.ResetTimer()
+	var out preprocess.Result
+	for i := 0; i < b.N; i++ {
+		out = p.Process(lines)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(lines))*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+	b.ReportMetric(float64(out.DroppedInvalid), "dropped-invalid")
+	b.ReportMetric(float64(out.DroppedRare), "dropped-rare")
+}
+
+// BenchmarkSection3Unsupervised regenerates the §III analysis: PCA
+// reconstruction-error ranking with the masscan anecdote.
+func BenchmarkSection3Unsupervised(b *testing.B) {
+	res := benchUnsup(b)
+	printTable("unsup", func() {
+		fmt.Printf("== Section III: masscan rank #%d (%.1fx median error), weird-benign in top-%d: %d ==\n",
+			res.MasscanBestRank, res.MasscanScore/res.MedianScore, len(res.Top), res.WeirdInTop)
+		for _, r := range res.Top {
+			fmt.Printf("  #%2d %10.3e %-9s %.64s\n", r.Rank, r.Score, r.Family, r.Line)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultUnsupConfig()
+		cfg.Corpus.TrainLines = 600
+		cfg.Corpus.TestLines = 300
+		cfg.Pipeline.Pretrain.Epochs = 1
+		if _, err := core.RunUnsupervised(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.MasscanBestRank), "masscan-rank")
+	b.ReportMetric(res.MasscanScore/res.MedianScore, "masscan/median")
+}
+
+// BenchmarkTable1 regenerates Table I: PO and PO&I for every method at the
+// threshold recalling all in-box intrusions.
+func BenchmarkTable1(b *testing.B) {
+	res := benchResults(b)
+	printTable("table1", func() { res.WriteTable1(os.Stdout) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink float64
+		for _, m := range res.Methods {
+			sink += m.PO.Mean + m.POI.Mean
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
+		}
+	}
+	b.StopTimer()
+	clf := res.Method(core.MethodClassification)
+	ret := res.Method(core.MethodRetrieval)
+	rec := res.Method(core.MethodReconstruction)
+	b.ReportMetric(clf.PO.Mean, "PO-classif")
+	b.ReportMetric(clf.POI.Mean, "PO&I-classif")
+	b.ReportMetric(rec.POI.Mean, "PO&I-recons")
+	b.ReportMetric(ret.PO.Mean, "PO-retrieval")
+}
+
+// BenchmarkTable2 regenerates Table II: PO@v for every method.
+func BenchmarkTable2(b *testing.B) {
+	res := benchResults(b)
+	printTable("table2", func() { res.WriteTable2(os.Stdout) })
+	vs := []int{}
+	for v := range res.Method(core.MethodClassification).POAt {
+		vs = append(vs, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink float64
+		for _, m := range res.Methods {
+			for _, v := range vs {
+				sink += m.POAt[v].Mean
+			}
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
+		}
+	}
+	b.StopTimer()
+	minV := vs[0]
+	for _, v := range vs {
+		if v < minV {
+			minV = v
+		}
+	}
+	b.ReportMetric(res.Method(core.MethodClassification).POAt[minV].Mean, "PO@small-classif")
+	b.ReportMetric(res.Method(core.MethodClassMulti).POAt[minV].Mean, "PO@small-multi")
+	b.ReportMetric(res.Method(core.MethodRetrieval).POAt[minV].Mean, "PO@small-retrieval")
+}
+
+// BenchmarkTable3Generalization regenerates Table III: the tuned classifier
+// scoring the paper's in-box/out-of-box pairs.
+func BenchmarkTable3Generalization(b *testing.B) {
+	res := benchResults(b)
+	printTable("table3", func() { res.WriteTable3(os.Stdout) })
+	detected := 0
+	for _, c := range res.TableIII {
+		if c.OutDetected {
+			detected++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := 0
+		for _, c := range res.TableIII {
+			if c.OutDetected {
+				d++
+			}
+		}
+		if d != detected {
+			b.Fatal("inconsistent")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(detected), "oob-detected-of-6")
+}
+
+// BenchmarkSection5BF1 regenerates the §V-B F1 comparison against the
+// commercial IDS.
+func BenchmarkSection5BF1(b *testing.B) {
+	res := benchResults(b)
+	printTable("f1", func() { res.WriteF1(os.Stdout) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res.F1.PaperStyle.Ours.F1 < 0 {
+			b.Fatal("impossible")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.F1.PaperStyle.Ours.F1, "F1-ours")
+	b.ReportMetric(res.F1.PaperStyle.IDS.F1, "F1-ids")
+	b.ReportMetric(res.F1.Empirical.Ours.F1, "F1-ours-empirical")
+	b.ReportMetric(res.F1.Empirical.IDS.F1, "F1-ids-empirical")
+}
+
+// BenchmarkSection5CPreference regenerates the §V-C per-family preference
+// analysis.
+func BenchmarkSection5CPreference(b *testing.B) {
+	res := benchResults(b)
+	printTable("pref", func() { res.WritePreference(os.Stdout) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, p := range res.Preference {
+			total += p.TotalOOB
+		}
+		if total < 0 {
+			b.Fatal("impossible")
+		}
+	}
+	b.StopTimer()
+	chains := 0
+	for _, p := range res.Preference {
+		if p.Family == "download_exec" {
+			chains = p.Detected[core.MethodClassMulti]
+		}
+	}
+	b.ReportMetric(float64(chains), "chains-by-multi")
+}

@@ -1,0 +1,204 @@
+// Command clmdetect scores command lines for intrusion likelihood with a
+// trained pipeline (see clmtrain) and one of the paper's detection methods.
+//
+// Supervision comes from the simulated commercial IDS applied to a labeled
+// baseline log; detection then generalizes beyond those rules.
+//
+// Usage:
+//
+//	clmdetect -model model/ -baseline data/train.jsonl \
+//	          -method classifier -input data/test.jsonl -top 20
+//
+// -input accepts a JSONL log or a plain-text file with one command line per
+// line ("-" reads plain text from stdin).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"clmids/internal/anomaly"
+	"clmids/internal/commercial"
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+	"clmids/internal/tuning"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clmdetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clmdetect", flag.ContinueOnError)
+	modelDir := fs.String("model", "model", "trained pipeline directory")
+	baseline := fs.String("baseline", "train.jsonl", "labeled baseline log (JSONL) for supervision")
+	method := fs.String("method", "classifier", "detection method: classifier | retrieval | reconstruction | pca")
+	input := fs.String("input", "-", "lines to score: JSONL, plain text, or - for stdin")
+	top := fs.Int("top", 20, "how many highest-scored lines to print")
+	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
+	seed := fs.Int64("seed", 1, "tuning seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pl, err := core.LoadPipeline(*modelDir)
+	if err != nil {
+		return err
+	}
+
+	baseLines, err := readBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	ids := commercial.Default()
+	labels, err := ids.Label(baseLines, commercial.DefaultNoise(), *seed)
+	if err != nil {
+		return err
+	}
+
+	scorer, err := buildScorer(pl, *method, baseLines, labels, *epochs, *seed)
+	if err != nil {
+		return err
+	}
+
+	lines, err := readInput(*input)
+	if err != nil {
+		return err
+	}
+	if len(lines) == 0 {
+		return fmt.Errorf("no input lines")
+	}
+	scores, err := scorer.Score(lines)
+	if err != nil {
+		return err
+	}
+
+	idx := make([]int, len(lines))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	n := *top
+	if n > len(idx) {
+		n = len(idx)
+	}
+	fmt.Printf("top %d of %d lines by %s score:\n", n, len(lines), *method)
+	for r := 0; r < n; r++ {
+		i := idx[r]
+		flag := " "
+		if ids.Match(lines[i]) != "" {
+			flag = "*" // also covered by the commercial IDS rules
+		}
+		fmt.Printf("%3d. %10.4f %s %s\n", r+1, scores[i], flag, lines[i])
+	}
+	fmt.Println("(* = also flagged by the simulated commercial IDS)")
+	return nil
+}
+
+// buildScorer constructs the requested §III/§IV method.
+func buildScorer(pl *core.Pipeline, method string, baseLines []string, labels []bool, epochs int, seed int64) (tuning.Scorer, error) {
+	switch method {
+	case "classifier":
+		cfg := tuning.DefaultClassifierConfig()
+		cfg.Epochs = epochs
+		cfg.Seed = seed
+		cfg.MeanPoolFeatures = true
+		return pl.NewClassifier(baseLines, labels, cfg)
+	case "retrieval":
+		return pl.NewRetrieval(baseLines, labels, 1)
+	case "reconstruction":
+		cfg := tuning.DefaultReconsConfig()
+		cfg.Seed = seed
+		return pl.NewReconstruction(baseLines, labels, cfg)
+	case "pca":
+		emb, err := tuning.EmbedLines(pl.Model.Encoder, pl.Tok, baseLines)
+		if err != nil {
+			return nil, err
+		}
+		det := &anomaly.PCADetector{}
+		if err := det.Fit(emb); err != nil {
+			return nil, err
+		}
+		return &pcaScorer{pl: pl, det: det}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+// pcaScorer adapts the unsupervised PCA detector to the Scorer contract.
+type pcaScorer struct {
+	pl  *core.Pipeline
+	det *anomaly.PCADetector
+}
+
+func (s *pcaScorer) Score(lines []string) ([]float64, error) {
+	emb, err := tuning.EmbedLines(s.pl.Model.Encoder, s.pl.Tok, lines)
+	if err != nil {
+		return nil, err
+	}
+	return anomaly.Scores(s.det, emb), nil
+}
+
+func readBaseline(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := corpus.ReadJSONL(f)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Lines(), nil
+}
+
+// readInput accepts JSONL (detected by a leading '{'), plain text, or "-"
+// for stdin plain text.
+func readInput(path string) ([]string, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var lines []string
+	jsonl := false
+	first := true
+	for sc.Scan() {
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" {
+			continue
+		}
+		if first {
+			jsonl = strings.HasPrefix(strings.TrimSpace(text), "{")
+			first = false
+		}
+		if jsonl {
+			ds, err := corpus.ReadJSONL(strings.NewReader(text + "\n"))
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range ds.Samples {
+				lines = append(lines, s.Line)
+			}
+			continue
+		}
+		lines = append(lines, text)
+	}
+	return lines, sc.Err()
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+)
+
+// buildFixture trains and saves a tiny pipeline plus a baseline log.
+func buildFixture(t *testing.T) (modelDir, dataPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	ccfg := corpus.DefaultConfig()
+	ccfg.TrainLines = 500
+	ccfg.TestLines = 50
+	ccfg.IntrusionRate = 0.2
+	train, _, err := corpus.Generate(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPath = filepath.Join(dir, "train.jsonl")
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := train.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	pcfg := core.TinyExperiment().Pipeline
+	pcfg.Pretrain.Epochs = 1
+	pl, err := core.BuildPipeline(train.Lines(), pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelDir = filepath.Join(dir, "model")
+	if err := pl.SaveDir(modelDir); err != nil {
+		t.Fatal(err)
+	}
+	return modelDir, dataPath
+}
+
+func TestDetectMethods(t *testing.T) {
+	modelDir, dataPath := buildFixture(t)
+	input := filepath.Join(t.TempDir(), "lines.txt")
+	err := os.WriteFile(input, []byte("nc -lvnp 4444\nls -la /srv\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"classifier", "retrieval", "pca"} {
+		err := run([]string{
+			"-model", modelDir, "-baseline", dataPath,
+			"-method", method, "-input", input, "-top", "2", "-epochs", "3",
+		})
+		if err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestDetectRejectsUnknownMethod(t *testing.T) {
+	modelDir, dataPath := buildFixture(t)
+	err := run([]string{"-model", modelDir, "-baseline", dataPath, "-method", "nope", "-input", dataPath})
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReadInputJSONLAndPlain(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "x.jsonl")
+	os.WriteFile(jsonl, []byte(`{"line":"ls -la","label":"benign"}`+"\n"), 0o644)
+	lines, err := readInput(jsonl)
+	if err != nil || len(lines) != 1 || lines[0] != "ls -la" {
+		t.Fatalf("jsonl input: %v %v", lines, err)
+	}
+	plain := filepath.Join(dir, "x.txt")
+	os.WriteFile(plain, []byte("cat /etc/hosts\n\ndf -h\n"), 0o644)
+	lines, err = readInput(plain)
+	if err != nil || len(lines) != 2 {
+		t.Fatalf("plain input: %v %v", lines, err)
+	}
+}

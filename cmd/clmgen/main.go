@@ -1,0 +1,80 @@
+// Command clmgen synthesizes production-style command-line logs (the
+// paper's proprietary-data substitute) and writes them as JSONL.
+//
+// Usage:
+//
+//	clmgen -train 8000 -test 4000 -out data/
+//
+// produces data/train.jsonl and data/test.jsonl with ground-truth labels,
+// attack families, in-box markers, and session metadata.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"clmids/internal/corpus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clmgen", flag.ContinueOnError)
+	def := corpus.DefaultConfig()
+	trainN := fs.Int("train", def.TrainLines, "approximate training lines")
+	testN := fs.Int("test", def.TestLines, "approximate test lines")
+	users := fs.Int("users", def.Users, "number of synthetic accounts")
+	intrusion := fs.Float64("intrusion-rate", def.IntrusionRate, "fraction of sessions that are attacks")
+	oob := fs.Float64("out-of-box", def.OutOfBoxFrac, "fraction of attacks using out-of-box variants")
+	typo := fs.Float64("typo-rate", def.TypoRate, "per-line typo probability")
+	garbage := fs.Float64("garbage-rate", def.GarbageRate, "per-line invalid-record probability")
+	weird := fs.Float64("weird-rate", def.WeirdRate, "per-line abnormal-yet-benign probability")
+	seed := fs.Int64("seed", def.Seed, "generation seed")
+	out := fs.String("out", ".", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := corpus.Config{
+		TrainLines: *trainN, TestLines: *testN, Users: *users,
+		IntrusionRate: *intrusion, OutOfBoxFrac: *oob,
+		TypoRate: *typo, GarbageRate: *garbage, WeirdRate: *weird,
+		Seed: *seed,
+	}
+	train, test, err := corpus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	if err := writeDataset(filepath.Join(*out, "train.jsonl"), train); err != nil {
+		return err
+	}
+	if err := writeDataset(filepath.Join(*out, "test.jsonl"), test); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d train lines (%d intrusions) and %d test lines (%d intrusions, %d out-of-box) to %s\n",
+		len(train.Samples), train.CountLabel(corpus.Intrusion),
+		len(test.Samples), test.CountLabel(corpus.Intrusion), test.CountOutOfBox(), *out)
+	return nil
+}
+
+func writeDataset(path string, d *corpus.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clmids/internal/corpus"
+)
+
+func TestRunWritesBothSplits(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-train", "300", "-test", "100", "-out", dir, "-seed", "9"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"train.jsonl", "test.jsonl"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		ds, err := corpus.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		if len(ds.Samples) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-train", "0"}); err == nil {
+		t.Error("zero train size accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Command clmtrain trains the IDS backbone — pre-processing filter, BPE
+// tokenizer, and masked-LM pre-trained encoder — on a JSONL log produced by
+// clmgen (or any file in the same format), and saves it to a directory for
+// clmdetect.
+//
+// Usage:
+//
+//	clmtrain -data data/train.jsonl -out model/ -epochs 2 -hidden 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+	"clmids/internal/model"
+	"clmids/internal/preprocess"
+	"clmids/internal/pretrain"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clmtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clmtrain", flag.ContinueOnError)
+	data := fs.String("data", "train.jsonl", "training log (JSONL)")
+	out := fs.String("out", "model", "output directory")
+	vocab := fs.Int("vocab", 700, "BPE vocabulary size (paper: 50000)")
+	hidden := fs.Int("hidden", 48, "encoder hidden size (paper: 768)")
+	layers := fs.Int("layers", 2, "transformer blocks (paper: 12)")
+	heads := fs.Int("heads", 4, "attention heads (paper: 12)")
+	ffn := fs.Int("ffn", 96, "feed-forward width (paper: 3072)")
+	seqLen := fs.Int("seq", 48, "max tokens per line (paper: 1024)")
+	epochs := fs.Int("epochs", 2, "pre-training epochs")
+	batch := fs.Int("batch", 16, "pre-training batch size")
+	lr := fs.Float64("lr", 1e-3, "peak learning rate")
+	maskProb := fs.Float64("mask", 0.15, "MLM masking probability q")
+	minFreq := fs.Int("min-freq", 3, "command-frequency filter threshold")
+	maxLines := fs.Int("max-lines", 0, "cap on pre-training lines (0 = all)")
+	seed := fs.Int64("seed", 1, "training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		return err
+	}
+	ds, err := corpus.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d lines from %s\n", len(ds.Samples), *data)
+
+	pcfg := core.PipelineConfig{
+		Preprocess: preprocess.Config{MinCommandFreq: *minFreq},
+		VocabSize:  *vocab,
+		Model: model.Config{
+			VocabSize: *vocab, MaxSeqLen: *seqLen, Hidden: *hidden,
+			Layers: *layers, Heads: *heads, FFN: *ffn,
+			LayerNormEps: 1e-5, Dropout: 0.05,
+		},
+		Pretrain: pretrain.Config{
+			Epochs: *epochs, BatchSize: *batch, LR: *lr,
+			WarmupFrac: 0.1, WeightDecay: 0.01, GradClip: 1.0,
+			Mask: pretrain.MaskConfig{Prob: *maskProb, MaskRatio: 0.8, RandomRatio: 0.1},
+			Seed: *seed,
+		},
+		MaxPretrainLines: *maxLines,
+		Seed:             *seed,
+		Logf: func(format string, a ...any) {
+			fmt.Printf(format+"\n", a...)
+		},
+	}
+	pl, err := core.BuildPipeline(ds.Lines(), pcfg)
+	if err != nil {
+		return err
+	}
+	if err := pl.SaveDir(*out); err != nil {
+		return err
+	}
+	fmt.Printf("saved pipeline to %s (vocab %d, final MLM loss %.4f)\n",
+		*out, pl.Tok.VocabSize(), pl.History.FinalLoss)
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+)
+
+func TestTrainProducesLoadablePipeline(t *testing.T) {
+	dir := t.TempDir()
+	// Generate a small corpus file first.
+	ccfg := corpus.DefaultConfig()
+	ccfg.TrainLines = 300
+	ccfg.TestLines = 50
+	train, _, err := corpus.Generate(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(dir, "train.jsonl")
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := train.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := filepath.Join(dir, "model")
+	err = run([]string{
+		"-data", dataPath, "-out", out,
+		"-vocab", "400", "-hidden", "16", "-layers", "1", "-heads", "2",
+		"-ffn", "32", "-seq", "24", "-epochs", "1",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pl, err := core.LoadPipeline(out)
+	if err != nil {
+		t.Fatalf("LoadPipeline: %v", err)
+	}
+	if pl.Tok.VocabSize() == 0 {
+		t.Error("empty tokenizer after training")
+	}
+}
+
+func TestTrainMissingData(t *testing.T) {
+	if err := run([]string{"-data", "/nonexistent/x.jsonl"}); err == nil {
+		t.Error("missing data file accepted")
+	}
+}

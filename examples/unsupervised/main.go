@@ -1,0 +1,36 @@
+// Unsupervised anomaly detection (§III): PCA reconstruction error over
+// command-line embeddings, no labels at all.
+//
+// Reproduces the paper's anecdote: the masscan full-port sweep shows a
+// reconstruction error far above typical lines, while "abnormal yet benign"
+// behaviours (mv with dozens of generated filenames, echo with long
+// gibberish) are the dominant false-positive mode — the gap that motivates
+// adding supervision in §IV.
+//
+//	go run ./examples/unsupervised
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clmids"
+)
+
+func main() {
+	cfg := clmids.DefaultUnsupConfig()
+	cfg.Logf = func(format string, a ...any) { fmt.Printf("  "+format+"\n", a...) }
+	res, err := clmids.RunUnsupervised(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ntop reconstruction errors over the test log:")
+	for _, r := range res.Top {
+		fmt.Printf("  #%2d %10.3e [%s/%s] %.64s\n", r.Rank, r.Score, r.Label, r.Family, r.Line)
+	}
+	fmt.Printf("\nmasscan full-port sweep: rank #%d, error %.3e = %.0fx the median\n",
+		res.MasscanBestRank, res.MasscanScore, res.MasscanScore/res.MedianScore)
+	fmt.Printf("abnormal-yet-benign lines in the top-%d: %d (the paper's false-positive mode)\n",
+		len(res.Top), res.WeirdInTop)
+}

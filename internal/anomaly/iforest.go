@@ -1,0 +1,155 @@
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clmids/internal/tensor"
+)
+
+// IsolationForest is the classic Liu–Ting–Zhou detector: an ensemble of
+// random partition trees; anomalies isolate in short paths, so the score
+// 2^(−E[h(x)]/c(ψ)) is close to 1 for outliers and below ~0.5 for inliers.
+type IsolationForest struct {
+	// Trees is the ensemble size; default 100.
+	Trees int
+	// SampleSize ψ is the per-tree subsample; default min(256, n).
+	SampleSize int
+	// Seed drives subsampling and split selection.
+	Seed int64
+
+	trees []*iNode
+	cPsi  float64
+}
+
+var _ Detector = (*IsolationForest)(nil)
+
+// iNode is one node of an isolation tree. Leaves have nil children and
+// carry the number of points that reached them.
+type iNode struct {
+	feature     int
+	split       float64
+	left, right *iNode
+	size        int
+}
+
+// harmonic approximates the n-th harmonic number.
+func harmonic(n float64) float64 { return math.Log(n) + 0.5772156649015329 }
+
+// avgPathLength is c(n): the expected path length of an unsuccessful BST
+// search over n points, the normalizer from the isolation-forest paper.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 2*harmonic(fn-1) - 2*(fn-1)/fn
+}
+
+// Fit implements Detector.
+func (f *IsolationForest) Fit(x *tensor.Matrix) error {
+	if x.Rows < 2 {
+		return fmt.Errorf("anomaly: IsolationForest needs at least 2 rows")
+	}
+	trees := f.Trees
+	if trees <= 0 {
+		trees = 100
+	}
+	psi := f.SampleSize
+	if psi <= 0 || psi > x.Rows {
+		psi = 256
+		if psi > x.Rows {
+			psi = x.Rows
+		}
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	maxDepth := int(math.Ceil(math.Log2(float64(psi)))) + 1
+
+	f.trees = make([]*iNode, trees)
+	f.cPsi = avgPathLength(psi)
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := 0; t < trees; t++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		sample := make([][]float64, psi)
+		for i := 0; i < psi; i++ {
+			sample[i] = x.Row(idx[i])
+		}
+		f.trees[t] = buildITree(sample, 0, maxDepth, rng)
+	}
+	return nil
+}
+
+func buildITree(points [][]float64, depth, maxDepth int, rng *rand.Rand) *iNode {
+	if len(points) <= 1 || depth >= maxDepth {
+		return &iNode{size: len(points)}
+	}
+	dim := len(points[0])
+	// Pick a feature with spread; give up after a few attempts (constant
+	// region) and make a leaf.
+	for attempt := 0; attempt < 8; attempt++ {
+		feat := rng.Intn(dim)
+		lo, hi := points[0][feat], points[0][feat]
+		for _, p := range points[1:] {
+			if p[feat] < lo {
+				lo = p[feat]
+			}
+			if p[feat] > hi {
+				hi = p[feat]
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		split := lo + rng.Float64()*(hi-lo)
+		var left, right [][]float64
+		for _, p := range points {
+			if p[feat] < split {
+				left = append(left, p)
+			} else {
+				right = append(right, p)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		return &iNode{
+			feature: feat,
+			split:   split,
+			left:    buildITree(left, depth+1, maxDepth, rng),
+			right:   buildITree(right, depth+1, maxDepth, rng),
+			size:    len(points),
+		}
+	}
+	return &iNode{size: len(points)}
+}
+
+// pathLength descends to the leaf for row, adding the leaf-size correction.
+func (n *iNode) pathLength(row []float64, depth float64) float64 {
+	if n.left == nil {
+		return depth + avgPathLength(n.size)
+	}
+	if row[n.feature] < n.split {
+		return n.left.pathLength(row, depth+1)
+	}
+	return n.right.pathLength(row, depth+1)
+}
+
+// Score implements Detector.
+func (f *IsolationForest) Score(row []float64) float64 {
+	if len(f.trees) == 0 {
+		panic("anomaly: IsolationForest.Score before Fit")
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.pathLength(row, 0)
+	}
+	mean := sum / float64(len(f.trees))
+	if f.cPsi == 0 {
+		return 0
+	}
+	return math.Pow(2, -mean/f.cPsi)
+}

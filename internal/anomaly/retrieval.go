@@ -1,0 +1,133 @@
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"clmids/internal/linalg"
+	"clmids/internal/tensor"
+)
+
+// Retrieval is the paper's retrieval-based detection (§IV-D). The naive kNN
+// majority vote fails under label noise (a malicious line whose neighbours
+// were all mislabeled benign scores 0), so the modified method scores each
+// test line by its average cosine similarity to its k nearest *malicious*
+// training neighbours only. The paper uses k = 1 (1NN).
+type Retrieval struct {
+	// K is the number of malicious neighbours averaged; default 1 (paper).
+	K int
+
+	malicious *tensor.Matrix
+	all       *tensor.Matrix
+	labels    []bool
+}
+
+// NewRetrieval creates a retrieval scorer.
+func NewRetrieval(k int) *Retrieval {
+	if k <= 0 {
+		k = 1
+	}
+	return &Retrieval{K: k}
+}
+
+// FitLabeled indexes the training embeddings with their (noisy) supervision
+// labels; true marks lines the commercial IDS flagged.
+func (r *Retrieval) FitLabeled(x *tensor.Matrix, labels []bool) error {
+	if x.Rows != len(labels) {
+		return fmt.Errorf("anomaly: %d rows but %d labels", x.Rows, len(labels))
+	}
+	nMal := 0
+	for _, l := range labels {
+		if l {
+			nMal++
+		}
+	}
+	if nMal == 0 {
+		return fmt.Errorf("anomaly: retrieval needs at least one malicious-labeled line")
+	}
+	mal := tensor.NewMatrix(nMal, x.Cols)
+	at := 0
+	for i, l := range labels {
+		if l {
+			copy(mal.Row(at), x.Row(i))
+			at++
+		}
+	}
+	r.malicious = mal
+	r.all = x
+	r.labels = labels
+	return nil
+}
+
+// Score implements the modified method: average cosine similarity between
+// the test embedding and its K nearest malicious training embeddings.
+// Higher means more intrusion-like.
+func (r *Retrieval) Score(row []float64) float64 {
+	if r.malicious == nil {
+		panic("anomaly: Retrieval.Score before FitLabeled")
+	}
+	k := r.K
+	if k > r.malicious.Rows {
+		k = r.malicious.Rows
+	}
+	// Track the k LARGEST similarities.
+	best := make([]float64, 0, k)
+	for i := 0; i < r.malicious.Rows; i++ {
+		sim := linalg.Cosine(r.malicious.Row(i), row)
+		if len(best) < k {
+			best = append(best, sim)
+			sort.Float64s(best)
+			continue
+		}
+		if sim > best[0] {
+			pos := sort.SearchFloat64s(best, sim)
+			copy(best[:pos-1], best[1:pos])
+			best[pos-1] = sim
+		}
+	}
+	sum := 0.0
+	for _, v := range best {
+		sum += v
+	}
+	return sum / float64(len(best))
+}
+
+// MajorityVote is the textbook kNN baseline the paper rejects: the verdict
+// of the k nearest neighbours (by cosine similarity) among ALL training
+// lines, malicious or benign. Exposed so the ablation experiment can show
+// why the modification matters under label noise.
+func (r *Retrieval) MajorityVote(row []float64, k int) bool {
+	if r.all == nil {
+		panic("anomaly: Retrieval.MajorityVote before FitLabeled")
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > r.all.Rows {
+		k = r.all.Rows
+	}
+	type hit struct {
+		sim float64
+		lab bool
+	}
+	best := make([]hit, 0, k)
+	for i := 0; i < r.all.Rows; i++ {
+		sim := linalg.Cosine(r.all.Row(i), row)
+		if len(best) < k {
+			best = append(best, hit{sim, r.labels[i]})
+			sort.Slice(best, func(a, b int) bool { return best[a].sim < best[b].sim })
+			continue
+		}
+		if sim > best[0].sim {
+			best[0] = hit{sim, r.labels[i]}
+			sort.Slice(best, func(a, b int) bool { return best[a].sim < best[b].sim })
+		}
+	}
+	votes := 0
+	for _, h := range best {
+		if h.lab {
+			votes++
+		}
+	}
+	return votes*2 > len(best)
+}

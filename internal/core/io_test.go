@@ -1,0 +1,76 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"clmids/internal/corpus"
+	"clmids/internal/model"
+)
+
+func TestSaveDirLoadPipelineRoundTrip(t *testing.T) {
+	ccfg := corpus.DefaultConfig()
+	ccfg.TrainLines = 300
+	ccfg.TestLines = 50
+	train, _, err := corpus.Generate(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := TinyExperiment().Pipeline
+	pcfg.Pretrain.Epochs = 1
+	pl, err := BuildPipeline(train.Lines(), pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "model")
+	if err := pl.SaveDir(dir); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	loaded, err := LoadPipeline(dir)
+	if err != nil {
+		t.Fatalf("LoadPipeline: %v", err)
+	}
+
+	// Same tokenization, same filtering, same hidden states.
+	line := "nc -lvnp 4444"
+	a := pl.Tok.Encode(line)
+	b := loaded.Tok.Encode(line)
+	if len(a) != len(b) {
+		t.Fatalf("tokenization differs after load")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tokenization differs at %d", i)
+		}
+	}
+	if _, r1 := pl.Pre.Check(line); true {
+		if _, r2 := loaded.Pre.Check(line); r1 != r2 {
+			t.Fatalf("filter verdict differs after load: %v vs %v", r1, r2)
+		}
+	}
+	h1, err := pl.Model.Encoder.EmbedLines(batchFor(pl, line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := loaded.Model.Encoder.EmbedLines(batchFor(loaded, line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h1.Data {
+		if h1.Data[i] != h2.Data[i] {
+			t.Fatal("embeddings differ after load")
+		}
+	}
+}
+
+func batchFor(p *Pipeline, line string) model.Batch {
+	ids := p.Tok.EncodeForModel(line, p.Model.Encoder.Config().MaxSeqLen)
+	return model.NewBatch([][]int{ids})
+}
+
+func TestLoadPipelineMissingDir(t *testing.T) {
+	if _, err := LoadPipeline(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}

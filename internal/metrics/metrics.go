@@ -1,0 +1,211 @@
+// Package metrics implements the paper's evaluation protocol (§V).
+//
+// Every scored test line carries three bits of context: the method's score,
+// the ground-truth label (standing in for the paper's manual labeling of
+// predictions), and the commercial IDS verdict. "In-box" intrusions are the
+// ones the commercial IDS flags; "out-of-box" intrusions are true intrusions
+// it misses. The paper's metrics are:
+//
+//   - PO@v — precision of the top-v out-of-box predictions (Table II),
+//   - PO — out-of-box precision at the threshold that recalls a fraction u
+//     (≈100%) of all in-box intrusions (Table I),
+//   - PO&I — overall precision at the same threshold (Table I),
+//   - the §V-B F1 comparison against the commercial IDS on the
+//     predicted-positive set.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scored is one de-duplicated test line with its evaluation context.
+type Scored struct {
+	// Line is the raw command line (used for de-duplication).
+	Line string
+	// Score is the method's intrusion score; higher = more suspicious.
+	Score float64
+	// TrueIntrusion is the ground truth.
+	TrueIntrusion bool
+	// IDSFlagged is the commercial IDS verdict for the line.
+	IDSFlagged bool
+}
+
+// Dedup removes duplicate lines, keeping the first occurrence of each, as
+// the paper does before computing metrics ("to avoid focusing only on
+// common threats").
+func Dedup(items []Scored) []Scored {
+	seen := make(map[string]bool, len(items))
+	out := make([]Scored, 0, len(items))
+	for _, it := range items {
+		if seen[it.Line] {
+			continue
+		}
+		seen[it.Line] = true
+		out = append(out, it)
+	}
+	return out
+}
+
+// ThresholdAtRecall returns the highest score threshold θ such that at
+// least a fraction u of IDS-flagged lines satisfy Score >= θ. With u = 1
+// this is the minimum score over flagged lines: the paper's operating point
+// "guaranteeing almost all in-box intrusions show higher scores".
+func ThresholdAtRecall(items []Scored, u float64) (float64, error) {
+	if u <= 0 || u > 1 {
+		return 0, fmt.Errorf("metrics: recall target %v outside (0,1]", u)
+	}
+	var flagged []float64
+	for _, it := range items {
+		if it.IDSFlagged {
+			flagged = append(flagged, it.Score)
+		}
+	}
+	if len(flagged) == 0 {
+		return 0, fmt.Errorf("metrics: no IDS-flagged lines to anchor the threshold")
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(flagged)))
+	need := int(math.Ceil(u * float64(len(flagged))))
+	if need < 1 {
+		need = 1
+	}
+	return flagged[need-1], nil
+}
+
+// POAtV computes the precision of the top-v out-of-box predictions: rank
+// all lines NOT flagged by the commercial IDS by score, take the top v, and
+// measure the fraction that are true intrusions (Table II). Ties are broken
+// by input order, matching a stable sort over scores.
+func POAtV(items []Scored, v int) (float64, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("metrics: v must be positive")
+	}
+	oob := make([]Scored, 0, len(items))
+	for _, it := range items {
+		if !it.IDSFlagged {
+			oob = append(oob, it)
+		}
+	}
+	if len(oob) == 0 {
+		return 0, fmt.Errorf("metrics: no out-of-box candidates")
+	}
+	sort.SliceStable(oob, func(i, j int) bool { return oob[i].Score > oob[j].Score })
+	if v > len(oob) {
+		v = len(oob)
+	}
+	hits := 0
+	for _, it := range oob[:v] {
+		if it.TrueIntrusion {
+			hits++
+		}
+	}
+	return float64(hits) / float64(v), nil
+}
+
+// Counts aggregates the confusion quantities at a threshold.
+type Counts struct {
+	// PredictedPositive is the number of lines with Score >= Threshold.
+	PredictedPositive int
+	// TruePositive counts predicted positives that are true intrusions.
+	TruePositive int
+	// OOBPredicted counts predicted positives not flagged by the IDS.
+	OOBPredicted int
+	// OOBTrue counts OOBPredicted lines that are true intrusions.
+	OOBTrue int
+	// FlaggedTotal is the number of IDS-flagged lines overall.
+	FlaggedTotal int
+	// FlaggedRecalled counts flagged lines with Score >= Threshold.
+	FlaggedRecalled int
+}
+
+// CountAt tallies the confusion quantities at threshold θ.
+func CountAt(items []Scored, threshold float64) Counts {
+	var c Counts
+	for _, it := range items {
+		if it.IDSFlagged {
+			c.FlaggedTotal++
+		}
+		if it.Score < threshold {
+			continue
+		}
+		c.PredictedPositive++
+		if it.TrueIntrusion {
+			c.TruePositive++
+		}
+		if it.IDSFlagged {
+			c.FlaggedRecalled++
+		} else {
+			c.OOBPredicted++
+			if it.TrueIntrusion {
+				c.OOBTrue++
+			}
+		}
+	}
+	return c
+}
+
+// Report holds the Table I / Table II numbers for one method on one run.
+type Report struct {
+	// Threshold is the operating point derived from the in-box recall
+	// target.
+	Threshold float64
+	// PO is the out-of-box precision at Threshold.
+	PO float64
+	// POAndI is the overall precision at Threshold.
+	POAndI float64
+	// POAt maps v -> PO@v.
+	POAt map[int]float64
+	// InBoxRecall is the achieved recall of IDS-flagged lines.
+	InBoxRecall float64
+	// Counts carries the raw tallies behind the ratios.
+	Counts Counts
+}
+
+// Evaluate computes the full paper protocol for one method: threshold at
+// in-box recall u, then PO, PO&I, and PO@v for each requested v. Items
+// should already be de-duplicated.
+func Evaluate(items []Scored, u float64, vs []int) (Report, error) {
+	var rep Report
+	th, err := ThresholdAtRecall(items, u)
+	if err != nil {
+		return rep, err
+	}
+	rep.Threshold = th
+	rep.Counts = CountAt(items, th)
+	if rep.Counts.PredictedPositive > 0 {
+		rep.POAndI = float64(rep.Counts.TruePositive) / float64(rep.Counts.PredictedPositive)
+	}
+	if rep.Counts.OOBPredicted > 0 {
+		rep.PO = float64(rep.Counts.OOBTrue) / float64(rep.Counts.OOBPredicted)
+	}
+	if rep.Counts.FlaggedTotal > 0 {
+		rep.InBoxRecall = float64(rep.Counts.FlaggedRecalled) / float64(rep.Counts.FlaggedTotal)
+	}
+	rep.POAt = make(map[int]float64, len(vs))
+	for _, v := range vs {
+		p, err := POAtV(items, v)
+		if err != nil {
+			return rep, err
+		}
+		rep.POAt[v] = p
+	}
+	return rep, nil
+}
+
+// MeanStd returns the mean and (population) standard deviation, the "avg ±
+// std over five runs" format of Table I/II.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// mk builds a Scored quickly.
+func mk(line string, score float64, intr, flagged bool) Scored {
+	return Scored{Line: line, Score: score, TrueIntrusion: intr, IDSFlagged: flagged}
+}
+
+func TestDedup(t *testing.T) {
+	items := []Scored{
+		mk("a", 1, false, false),
+		mk("b", 2, true, true),
+		mk("a", 3, false, false), // duplicate line, later score ignored
+	}
+	out := Dedup(items)
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d, want 2", len(out))
+	}
+	if out[0].Score != 1 {
+		t.Errorf("dedup must keep the first occurrence")
+	}
+}
+
+func TestThresholdAtRecall(t *testing.T) {
+	items := []Scored{
+		mk("f1", 0.9, true, true),
+		mk("f2", 0.8, true, true),
+		mk("f3", 0.5, true, true),
+		mk("f4", 0.2, true, true),
+		mk("b1", 0.1, false, false),
+	}
+	th, err := ThresholdAtRecall(items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th != 0.2 {
+		t.Errorf("u=1 threshold = %v, want 0.2 (min flagged score)", th)
+	}
+	th, err = ThresholdAtRecall(items, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th != 0.8 {
+		t.Errorf("u=0.5 threshold = %v, want 0.8", th)
+	}
+	if _, err := ThresholdAtRecall(items, 0); err == nil {
+		t.Error("u=0 accepted")
+	}
+	if _, err := ThresholdAtRecall([]Scored{mk("x", 1, false, false)}, 1); err == nil {
+		t.Error("no flagged lines accepted")
+	}
+}
+
+func TestPOAtV(t *testing.T) {
+	// Out-of-box candidates are the unflagged ones; 3 of the top 4 by score
+	// are true intrusions.
+	items := []Scored{
+		mk("in1", 10, true, true), // flagged: excluded from PO@v ranking
+		mk("o1", 9, true, false),
+		mk("o2", 8, true, false),
+		mk("o3", 7, false, false),
+		mk("o4", 6, true, false),
+		mk("o5", 5, false, false),
+	}
+	p, err := POAtV(items, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("PO@4 = %v, want 0.75", p)
+	}
+	// v larger than candidates clamps.
+	p, err = POAtV(items, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.6) > 1e-12 {
+		t.Errorf("PO@100 (clamped to 5) = %v, want 0.6", p)
+	}
+	if _, err := POAtV(items, 0); err == nil {
+		t.Error("v=0 accepted")
+	}
+	if _, err := POAtV([]Scored{mk("x", 1, true, true)}, 1); err == nil {
+		t.Error("no out-of-box candidates accepted")
+	}
+}
+
+func TestEvaluateFullProtocol(t *testing.T) {
+	// 2 in-box intrusions (flagged), 2 out-of-box intrusions, 6 benign.
+	items := []Scored{
+		mk("in1", 0.95, true, true),
+		mk("in2", 0.90, true, true),
+		mk("oob1", 0.93, true, false),
+		mk("oob2", 0.91, true, false),
+		mk("ben1", 0.92, false, false), // a false positive above threshold
+		mk("ben2", 0.10, false, false),
+		mk("ben3", 0.20, false, false),
+		mk("ben4", 0.15, false, false),
+		mk("ben5", 0.05, false, false),
+		mk("ben6", 0.08, false, false),
+	}
+	rep, err := Evaluate(items, 1.0, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold = 0.90; predicted positives: in1,in2,oob1,oob2,ben1 (5).
+	if rep.Threshold != 0.90 {
+		t.Fatalf("threshold = %v", rep.Threshold)
+	}
+	if rep.Counts.PredictedPositive != 5 || rep.Counts.TruePositive != 4 {
+		t.Fatalf("counts = %+v", rep.Counts)
+	}
+	if math.Abs(rep.POAndI-0.8) > 1e-12 {
+		t.Errorf("PO&I = %v, want 0.8", rep.POAndI)
+	}
+	// Out-of-box predicted: oob1, oob2, ben1 -> PO = 2/3.
+	if math.Abs(rep.PO-2.0/3) > 1e-12 {
+		t.Errorf("PO = %v, want 2/3", rep.PO)
+	}
+	if rep.InBoxRecall != 1.0 {
+		t.Errorf("in-box recall = %v", rep.InBoxRecall)
+	}
+	// PO@1: top unflagged is oob1 (0.93) -> 1.0.
+	if rep.POAt[1] != 1.0 {
+		t.Errorf("PO@1 = %v", rep.POAt[1])
+	}
+	// PO@3: oob1, ben1, oob2 -> 2/3.
+	if math.Abs(rep.POAt[3]-2.0/3) > 1e-12 {
+		t.Errorf("PO@3 = %v", rep.POAt[3])
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{1, 2, 3, 4})
+	if math.Abs(m-2.5) > 1e-12 || math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("MeanStd = %v ± %v", m, s)
+	}
+	m, s = MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Error("empty MeanStd should be 0,0")
+	}
+}
+
+func TestCompareWithIDSPaperNumbers(t *testing.T) {
+	// Reconstruct the paper's own numbers: PO&I = 0.994 implies ours F1 =
+	// 99.7%; with u=1, x=0.832 and the paper's S,T proportions the IDS
+	// recall lands near 97.4%. Build a synthetic set with those properties:
+	// S = 900 in-box intrusions, 139 out-of-box predictions of which
+	// x ≈ 0.832 are true.
+	var items []Scored
+	for i := 0; i < 900; i++ {
+		items = append(items, mk(key("in", i), 1.0, true, true))
+	}
+	for i := 0; i < 116; i++ {
+		items = append(items, mk(key("oob", i), 0.9, true, false))
+	}
+	for i := 0; i < 23; i++ {
+		items = append(items, mk(key("fp", i), 0.9, false, false))
+	}
+	for i := 0; i < 5000; i++ {
+		items = append(items, mk(key("ben", i), 0.0, false, false))
+	}
+	cmp, err := CompareWithIDS(items, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := cmp.PaperStyle.Ours
+	ids := cmp.PaperStyle.IDS
+	if ours.Recall != 1.0 {
+		t.Errorf("ours recall = %v", ours.Recall)
+	}
+	if ours.Precision < 0.97 || ours.Precision > 1.0 {
+		t.Errorf("ours precision = %v", ours.Precision)
+	}
+	if ours.F1 < 0.98 {
+		t.Errorf("ours F1 = %v, want ~0.99+", ours.F1)
+	}
+	if ids.Recall < 0.85 || ids.Recall >= 1.0 {
+		t.Errorf("ids recall = %v, want < 1", ids.Recall)
+	}
+	if ours.F1 <= ids.F1 {
+		t.Errorf("paper ordering violated: ours %v <= ids %v", ours.F1, ids.F1)
+	}
+	// The empirical view must agree on the ordering here (IDS misses all
+	// out-of-box intrusions).
+	if cmp.Empirical.Ours.F1 <= cmp.Empirical.IDS.F1 {
+		t.Errorf("empirical ordering violated: %v <= %v",
+			cmp.Empirical.Ours.F1, cmp.Empirical.IDS.F1)
+	}
+}
+
+func key(p string, i int) string { return p + "-" + string(rune('a'+i%26)) + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestCompareWithIDSErrors(t *testing.T) {
+	items := []Scored{mk("a", 0.1, false, false)}
+	if _, err := CompareWithIDS(items, 0.5); err == nil {
+		t.Error("no predicted positives accepted")
+	}
+	items = []Scored{mk("a", 1.0, false, true)}
+	if _, err := CompareWithIDS(items, 0.5); err == nil {
+		t.Error("no true intrusions accepted")
+	}
+}
+
+func TestROCAUC(t *testing.T) {
+	items := []Scored{
+		mk("p1", 0.9, true, false),
+		mk("p2", 0.8, true, false),
+		mk("n1", 0.1, false, false),
+		mk("n2", 0.2, false, false),
+	}
+	auc, err := ROCAUC(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1.0 {
+		t.Errorf("AUC = %v, want 1.0", auc)
+	}
+	// Ties count half.
+	items = []Scored{mk("p", 0.5, true, false), mk("n", 0.5, false, false)}
+	auc, err = ROCAUC(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+	if _, err := ROCAUC([]Scored{mk("p", 1, true, false)}); err == nil {
+		t.Error("single-class AUC accepted")
+	}
+}

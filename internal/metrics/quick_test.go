@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genScored builds a random evaluation set that always contains at least
+// one flagged line and both classes.
+func genScored(r *rand.Rand) []Scored {
+	n := 5 + r.Intn(60)
+	items := make([]Scored, n)
+	for i := range items {
+		items[i] = Scored{
+			Line:          fmt.Sprintf("line-%d", r.Intn(n)), // duplicates on purpose
+			Score:         r.Float64(),
+			TrueIntrusion: r.Intn(6) == 0,
+			IDSFlagged:    r.Intn(8) == 0,
+		}
+	}
+	items[0].IDSFlagged = true
+	items[0].TrueIntrusion = true
+	items[1].TrueIntrusion = false
+	items[1].IDSFlagged = false
+	return items
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 200,
+		Values: func(values []reflect.Value, r *rand.Rand) {
+			values[0] = reflect.ValueOf(genScored(r))
+		},
+	}
+}
+
+// TestQuickDedupIdempotent: Dedup is idempotent and never increases size.
+func TestQuickDedupIdempotent(t *testing.T) {
+	prop := func(items []Scored) bool {
+		once := Dedup(items)
+		twice := Dedup(once)
+		if len(once) > len(items) || len(twice) != len(once) {
+			return false
+		}
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickThresholdRecallMonotone: the threshold at u=1 never exceeds the
+// threshold at u=0.5, and both actually achieve their recall target.
+func TestQuickThresholdRecallMonotone(t *testing.T) {
+	prop := func(items []Scored) bool {
+		t1, err := ThresholdAtRecall(items, 1.0)
+		if err != nil {
+			return false
+		}
+		t05, err := ThresholdAtRecall(items, 0.5)
+		if err != nil {
+			return false
+		}
+		if t1 > t05 {
+			return false
+		}
+		c := CountAt(items, t1)
+		return c.FlaggedRecalled == c.FlaggedTotal
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPOAtVBounds: PO@v is a valid probability and PO@len equals the
+// overall out-of-box intrusion fraction.
+func TestQuickPOAtVBounds(t *testing.T) {
+	prop := func(items []Scored) bool {
+		oobTotal, oobIntr := 0, 0
+		for _, it := range items {
+			if !it.IDSFlagged {
+				oobTotal++
+				if it.TrueIntrusion {
+					oobIntr++
+				}
+			}
+		}
+		if oobTotal == 0 {
+			return true
+		}
+		for _, v := range []int{1, 3, oobTotal, oobTotal + 50} {
+			p, err := POAtV(items, v)
+			if err != nil || p < 0 || p > 1 {
+				return false
+			}
+			if v >= oobTotal && p != float64(oobIntr)/float64(oobTotal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvaluateConsistency: PO&I and PO are consistent with the raw
+// counts, and predicted positives bound true positives.
+func TestQuickEvaluateConsistency(t *testing.T) {
+	prop := func(items []Scored) bool {
+		dd := Dedup(items)
+		rep, err := Evaluate(dd, 1.0, []int{1})
+		if err != nil {
+			// Some random sets legitimately have no out-of-box candidates.
+			return true
+		}
+		c := rep.Counts
+		if c.TruePositive > c.PredictedPositive || c.OOBTrue > c.OOBPredicted {
+			return false
+		}
+		if c.PredictedPositive > 0 {
+			want := float64(c.TruePositive) / float64(c.PredictedPositive)
+			if rep.POAndI != want {
+				return false
+			}
+		}
+		if c.OOBPredicted > 0 {
+			want := float64(c.OOBTrue) / float64(c.OOBPredicted)
+			if rep.PO != want {
+				return false
+			}
+		}
+		return rep.InBoxRecall == 1.0
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// snapshot is the gob-serialized form of a Model: the architecture plus
+// every parameter matrix in Params() order.
+type snapshot struct {
+	Format string
+	Cfg    Config
+	Shapes [][2]int
+	Params [][]float64
+}
+
+const snapshotFormat = "clmids-model v1"
+
+// Save writes the model to w. The format is self-describing: Load
+// reconstructs the architecture from the embedded Config.
+func (m *Model) Save(w io.Writer) error {
+	params := m.Params()
+	snap := snapshot{
+		Format: snapshotFormat,
+		Cfg:    m.Encoder.cfg,
+		Shapes: make([][2]int, len(params)),
+		Params: make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		snap.Shapes[i] = [2]int{p.Val.Rows, p.Val.Cols}
+		snap.Params[i] = p.Val.Data
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("model: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("model: decoding snapshot: %w", err)
+	}
+	if snap.Format != snapshotFormat {
+		return nil, fmt.Errorf("model: unknown snapshot format %q", snap.Format)
+	}
+	// The RNG is irrelevant: every parameter is overwritten below.
+	m, err := NewModel(snap.Cfg, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	if len(params) != len(snap.Params) {
+		return nil, fmt.Errorf("model: snapshot has %d tensors, architecture needs %d",
+			len(snap.Params), len(params))
+	}
+	for i, p := range params {
+		want := [2]int{p.Val.Rows, p.Val.Cols}
+		if snap.Shapes[i] != want {
+			return nil, fmt.Errorf("model: tensor %d shape %v, want %v", i, snap.Shapes[i], want)
+		}
+		if len(snap.Params[i]) != p.Val.Rows*p.Val.Cols {
+			return nil, fmt.Errorf("model: tensor %d has %d values, want %d",
+				i, len(snap.Params[i]), p.Val.Rows*p.Val.Cols)
+		}
+		copy(p.Val.Data, snap.Params[i])
+	}
+	return m, nil
+}

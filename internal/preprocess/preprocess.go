@@ -1,0 +1,205 @@
+// Package preprocess implements the Fig. 2 pre-processing stage: a shell
+// parser rejects syntactically invalid log records, and a command-frequency
+// filter removes lines whose command names occur too rarely to be real
+// (typos like "dcoker" or "chdmod"). Optionally, an explicit allowlist of
+// known host commands can be supplied instead of (or in addition to) the
+// frequency criterion, matching the two options the paper describes.
+package preprocess
+
+import (
+	"fmt"
+	"sort"
+
+	"clmids/internal/shell"
+)
+
+// DropReason explains why a line was removed.
+type DropReason int
+
+// Drop reasons.
+const (
+	// KeptLine means the line passed all filters.
+	KeptLine DropReason = iota
+	// DropInvalid means the shell parser rejected the line.
+	DropInvalid
+	// DropRareCommand means a command name failed the frequency filter.
+	DropRareCommand
+)
+
+// String renders the reason.
+func (r DropReason) String() string {
+	switch r {
+	case KeptLine:
+		return "kept"
+	case DropInvalid:
+		return "invalid-syntax"
+	case DropRareCommand:
+		return "rare-command"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// Config controls the filter.
+type Config struct {
+	// MinCommandFreq keeps a command name only if it occurs at least this
+	// many times in the fitted corpus. Zero disables the absolute test.
+	MinCommandFreq int
+	// MinCommandFrac keeps a command name only if its share of all command
+	// occurrences is at least this fraction. Zero disables the test.
+	MinCommandFrac float64
+	// KnownCommands, when non-empty, always pass the frequency filter
+	// (the paper's "exhaustively collecting all valid commands in the host
+	// environment" alternative).
+	KnownCommands []string
+}
+
+// DefaultConfig uses a small absolute threshold, appropriate for corpora of
+// thousands of lines; production deployments would scale it with volume.
+func DefaultConfig() Config {
+	return Config{MinCommandFreq: 3}
+}
+
+// Record is one line that survived pre-processing.
+type Record struct {
+	// Index is the position of the line in the original input.
+	Index int
+	// Line is the canonical (whitespace-normalized) form.
+	Line string
+	// Commands are the path-stripped command names on the line.
+	Commands []string
+}
+
+// CommandCount is one row of the Fig. 2 command-occurrence table.
+type CommandCount struct {
+	Name  string
+	Count int
+}
+
+// Result summarizes one Process call.
+type Result struct {
+	Kept    []Record
+	Reasons []DropReason // parallel to the input lines
+	// DroppedInvalid and DroppedRare count the two removal classes.
+	DroppedInvalid int
+	DroppedRare    int
+}
+
+// Preprocessor filters command lines. Fit must be called before Process
+// unless KnownCommands is provided and MinCommandFreq/MinCommandFrac are 0.
+type Preprocessor struct {
+	cfg     Config
+	freq    map[string]int
+	total   int
+	allowed map[string]bool
+	fitted  bool
+}
+
+// New creates a Preprocessor.
+func New(cfg Config) *Preprocessor {
+	allowed := make(map[string]bool, len(cfg.KnownCommands))
+	for _, c := range cfg.KnownCommands {
+		allowed[c] = true
+	}
+	return &Preprocessor{cfg: cfg, freq: make(map[string]int), allowed: allowed}
+}
+
+// Fit counts command-name occurrences over the corpus (invalid lines are
+// skipped: they never contribute frequency mass). Fit may be called several
+// times to accumulate counts over streamed chunks.
+func (p *Preprocessor) Fit(lines []string) {
+	for _, line := range lines {
+		ast, err := shell.Parse(line)
+		if err != nil {
+			continue
+		}
+		for _, inv := range ast.Invocations() {
+			if inv.Name == "" {
+				continue
+			}
+			p.freq[inv.Name]++
+			p.total++
+		}
+	}
+	p.fitted = true
+}
+
+// Frequencies returns the Fig. 2 occurrence table, most frequent first
+// (ties broken alphabetically for determinism).
+func (p *Preprocessor) Frequencies() []CommandCount {
+	out := make([]CommandCount, 0, len(p.freq))
+	for name, c := range p.freq {
+		out = append(out, CommandCount{Name: name, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// commandOK applies the allowlist and frequency criteria to one name.
+func (p *Preprocessor) commandOK(name string) bool {
+	if p.allowed[name] {
+		return true
+	}
+	if len(p.allowed) > 0 && p.cfg.MinCommandFreq == 0 && p.cfg.MinCommandFrac == 0 {
+		// Pure allowlist mode: anything not listed is rejected.
+		return false
+	}
+	c := p.freq[name]
+	if p.cfg.MinCommandFreq > 0 && c < p.cfg.MinCommandFreq {
+		return false
+	}
+	if p.cfg.MinCommandFrac > 0 && p.total > 0 &&
+		float64(c)/float64(p.total) < p.cfg.MinCommandFrac {
+		return false
+	}
+	return true
+}
+
+// Check classifies a single line without mutating state.
+func (p *Preprocessor) Check(line string) (Record, DropReason) {
+	ast, err := shell.Parse(line)
+	if err != nil {
+		return Record{}, DropInvalid
+	}
+	names := ast.CommandNames()
+	for _, n := range names {
+		if !p.commandOK(n) {
+			return Record{}, DropRareCommand
+		}
+	}
+	return Record{Line: ast.String(), Commands: names}, KeptLine
+}
+
+// Process filters a corpus, returning kept records and per-line reasons.
+func (p *Preprocessor) Process(lines []string) Result {
+	res := Result{
+		Kept:    make([]Record, 0, len(lines)),
+		Reasons: make([]DropReason, len(lines)),
+	}
+	for i, line := range lines {
+		rec, reason := p.Check(line)
+		res.Reasons[i] = reason
+		switch reason {
+		case KeptLine:
+			rec.Index = i
+			res.Kept = append(res.Kept, rec)
+		case DropInvalid:
+			res.DroppedInvalid++
+		case DropRareCommand:
+			res.DroppedRare++
+		}
+	}
+	return res
+}
+
+// FitProcess is the common one-shot path: fit frequencies on the corpus and
+// immediately filter it.
+func (p *Preprocessor) FitProcess(lines []string) Result {
+	p.Fit(lines)
+	return p.Process(lines)
+}

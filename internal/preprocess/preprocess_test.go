@@ -1,0 +1,189 @@
+package preprocess
+
+import (
+	"strings"
+	"testing"
+
+	"clmids/internal/corpus"
+)
+
+func TestFitProcessBasics(t *testing.T) {
+	lines := []string{
+		"ls -la /tmp", "ls /srv", "ls", "ls -lh", // frequent
+		"cat a.txt", "cat b.txt", "cat c.txt",
+		"dcoker ps -a",        // typo: occurs once
+		"/*/*/* -> /*/*/* ->", // invalid
+		"echo 'unterminated",  // invalid
+	}
+	p := New(Config{MinCommandFreq: 2})
+	res := p.FitProcess(lines)
+	if res.DroppedInvalid != 2 {
+		t.Errorf("DroppedInvalid = %d, want 2", res.DroppedInvalid)
+	}
+	if res.DroppedRare != 1 {
+		t.Errorf("DroppedRare = %d, want 1", res.DroppedRare)
+	}
+	if len(res.Kept) != 7 {
+		t.Errorf("Kept = %d, want 7", len(res.Kept))
+	}
+	for _, rec := range res.Kept {
+		if strings.HasPrefix(rec.Line, "dcoker") {
+			t.Error("typo line survived the frequency filter")
+		}
+	}
+}
+
+func TestReasonsParallelInput(t *testing.T) {
+	lines := []string{"ls", "ls", "( broken", "zzzz once"}
+	p := New(Config{MinCommandFreq: 2})
+	res := p.FitProcess(lines)
+	want := []DropReason{KeptLine, KeptLine, DropInvalid, DropRareCommand}
+	for i, r := range res.Reasons {
+		if r != want[i] {
+			t.Errorf("reason[%d] = %v, want %v", i, r, want[i])
+		}
+	}
+	if KeptLine.String() != "kept" || DropInvalid.String() != "invalid-syntax" ||
+		DropRareCommand.String() != "rare-command" {
+		t.Error("DropReason.String wrong")
+	}
+}
+
+func TestAllowlistMode(t *testing.T) {
+	// Pure allowlist: only listed commands pass, regardless of frequency.
+	p := New(Config{KnownCommands: []string{"ls", "cat"}})
+	res := p.Process([]string{"ls -la", "cat f", "vim f", "ls | cat"})
+	if len(res.Kept) != 3 {
+		t.Fatalf("kept %d lines, want 3", len(res.Kept))
+	}
+	for _, rec := range res.Kept {
+		if strings.HasPrefix(rec.Line, "vim") {
+			t.Error("non-allowlisted command kept")
+		}
+	}
+}
+
+func TestAllowlistPlusFrequency(t *testing.T) {
+	// Allowlisted names bypass the frequency test; others still need it.
+	p := New(Config{MinCommandFreq: 2, KnownCommands: []string{"rareallowed"}})
+	p.Fit([]string{"ls", "ls", "rareallowed x", "rareonce y"})
+	if _, reason := p.Check("rareallowed x"); reason != KeptLine {
+		t.Error("allowlisted rare command dropped")
+	}
+	if _, reason := p.Check("rareonce y"); reason != DropRareCommand {
+		t.Error("rare command kept")
+	}
+	if _, reason := p.Check("ls -la"); reason != KeptLine {
+		t.Error("frequent command dropped")
+	}
+}
+
+func TestMinCommandFrac(t *testing.T) {
+	lines := make([]string, 0, 101)
+	for i := 0; i < 100; i++ {
+		lines = append(lines, "ls")
+	}
+	lines = append(lines, "seldom x")
+	p := New(Config{MinCommandFrac: 0.05})
+	res := p.FitProcess(lines)
+	if res.DroppedRare != 1 {
+		t.Fatalf("DroppedRare = %d, want 1", res.DroppedRare)
+	}
+}
+
+func TestFrequenciesTable(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Fit([]string{"ls", "ls", "cat f | grep x", "grep y f", "grep z f"})
+	freqs := p.Frequencies()
+	if len(freqs) != 3 {
+		t.Fatalf("frequencies = %v", freqs)
+	}
+	if freqs[0].Name != "grep" || freqs[0].Count != 3 {
+		t.Errorf("top command = %+v, want grep:3", freqs[0])
+	}
+	if freqs[1].Name != "ls" || freqs[2].Name != "cat" {
+		t.Errorf("order = %v", freqs)
+	}
+}
+
+func TestPipelineCommandsAllChecked(t *testing.T) {
+	// A pipeline containing one rare command must be dropped even if the
+	// first command is frequent.
+	p := New(Config{MinCommandFreq: 2})
+	p.Fit([]string{"ls", "ls", "ls | weirdcmd"})
+	if _, reason := p.Check("ls | weirdcmd"); reason != DropRareCommand {
+		t.Fatalf("pipeline with rare command: reason = %v", reason)
+	}
+}
+
+func TestOnGeneratedCorpus(t *testing.T) {
+	cfg := corpus.DefaultConfig()
+	cfg.TrainLines = 3000
+	cfg.TestLines = 500
+	train, _, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The threshold scales with corpus size: at 3000 lines a typo form can
+	// repeat a handful of times, so use a slightly higher cutoff than the
+	// package default.
+	p := New(Config{MinCommandFreq: 6})
+	res := p.FitProcess(train.Lines())
+
+	// Every garbage line must be dropped as invalid.
+	for i, s := range train.Samples {
+		if s.Family == "garbage" && res.Reasons[i] != DropInvalid {
+			t.Errorf("garbage line %q classified %v", s.Line, res.Reasons[i])
+		}
+	}
+	// Typo lines should overwhelmingly be dropped as rare; allow the odd
+	// collision when a typo form repeats.
+	typos, dropped := 0, 0
+	for i, s := range train.Samples {
+		if s.Family != "typo" {
+			continue
+		}
+		typos++
+		if res.Reasons[i] == DropRareCommand {
+			dropped++
+		}
+	}
+	if typos == 0 {
+		t.Fatal("corpus produced no typo lines")
+	}
+	if float64(dropped)/float64(typos) < 0.7 {
+		t.Errorf("only %d/%d typo lines dropped", dropped, typos)
+	}
+	// Routine lines must overwhelmingly survive.
+	routine, kept := 0, 0
+	for i, s := range train.Samples {
+		if s.Family != "routine" {
+			continue
+		}
+		routine++
+		if res.Reasons[i] == KeptLine {
+			kept++
+		}
+	}
+	if float64(kept)/float64(routine) < 0.95 {
+		t.Errorf("only %d/%d routine lines kept", kept, routine)
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.TrainLines = 2000
+	cfg.TestLines = 100
+	train, _, err := corpus.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := train.Lines()
+	p := New(DefaultConfig())
+	p.Fit(lines)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Process(lines)
+	}
+}

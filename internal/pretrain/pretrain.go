@@ -1,0 +1,269 @@
+// Package pretrain implements the large-scale self-supervised pre-training
+// stage of §II-B: RoBERTa-style dynamic masking over BPE-tokenized command
+// lines and a mini-batch training loop that minimizes the masked-language-
+// model cross-entropy with AdamW and a warmup-linear schedule.
+package pretrain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clmids/internal/bpe"
+	"clmids/internal/model"
+	"clmids/internal/nn"
+)
+
+// IgnoreIndex marks unmasked positions in MLM labels.
+const IgnoreIndex = -100
+
+// MaskConfig controls the dynamic masking strategy. As in RoBERTa, each
+// token is selected with probability Prob; a selected token is replaced by
+// [MASK] with probability MaskRatio, by a random vocabulary token with
+// probability RandomRatio, and otherwise kept unchanged (the model must
+// still predict it).
+type MaskConfig struct {
+	Prob        float64
+	MaskRatio   float64
+	RandomRatio float64
+}
+
+// DefaultMask returns the standard 15% / 80-10-10 recipe.
+func DefaultMask() MaskConfig {
+	return MaskConfig{Prob: 0.15, MaskRatio: 0.8, RandomRatio: 0.1}
+}
+
+// Validate reports configuration errors.
+func (m MaskConfig) Validate() error {
+	if m.Prob <= 0 || m.Prob >= 1 {
+		return fmt.Errorf("pretrain: mask prob %v outside (0,1)", m.Prob)
+	}
+	if m.MaskRatio < 0 || m.RandomRatio < 0 || m.MaskRatio+m.RandomRatio > 1 {
+		return fmt.Errorf("pretrain: mask/random ratios %v/%v invalid", m.MaskRatio, m.RandomRatio)
+	}
+	return nil
+}
+
+// Mask applies dynamic masking to one token sequence, returning the
+// corrupted copy and the label slice (original IDs at selected positions,
+// IgnoreIndex elsewhere). Special tokens are never selected. At least one
+// position is always selected so every sequence contributes signal.
+func (m MaskConfig) Mask(ids []int, vocabSize int, rng *rand.Rand) (masked []int, labels []int) {
+	masked = make([]int, len(ids))
+	labels = make([]int, len(ids))
+	copy(masked, ids)
+	selected := 0
+	var candidates []int
+	for i, id := range ids {
+		labels[i] = IgnoreIndex
+		if bpe.IsSpecial(id) {
+			continue
+		}
+		candidates = append(candidates, i)
+		if rng.Float64() >= m.Prob {
+			continue
+		}
+		m.corrupt(masked, labels, ids, i, vocabSize, rng)
+		selected++
+	}
+	if selected == 0 && len(candidates) > 0 {
+		i := candidates[rng.Intn(len(candidates))]
+		m.corrupt(masked, labels, ids, i, vocabSize, rng)
+	}
+	return masked, labels
+}
+
+func (m MaskConfig) corrupt(masked, labels, ids []int, i, vocabSize int, rng *rand.Rand) {
+	labels[i] = ids[i]
+	r := rng.Float64()
+	switch {
+	case r < m.MaskRatio:
+		masked[i] = bpe.MaskID
+	case r < m.MaskRatio+m.RandomRatio:
+		masked[i] = bpe.NumSpecials + rng.Intn(vocabSize-bpe.NumSpecials)
+	default:
+		// keep the original token
+	}
+}
+
+// Config controls the pre-training loop.
+type Config struct {
+	// Epochs over the corpus.
+	Epochs int
+	// BatchSize in sequences.
+	BatchSize int
+	// LR is the peak learning rate for AdamW.
+	LR float64
+	// WarmupFrac is the fraction of total steps spent warming up.
+	WarmupFrac float64
+	// WeightDecay for AdamW.
+	WeightDecay float64
+	// GradClip bounds the global gradient norm; 0 disables clipping.
+	GradClip float64
+	// Mask is the masking recipe.
+	Mask MaskConfig
+	// Seed drives shuffling, masking, and dropout.
+	Seed int64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a single-CPU-friendly recipe.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:      2,
+		BatchSize:   16,
+		LR:          5e-4,
+		WarmupFrac:  0.1,
+		WeightDecay: 0.01,
+		GradClip:    1.0,
+		Mask:        DefaultMask(),
+		Seed:        1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Epochs <= 0 || c.BatchSize <= 0 {
+		return fmt.Errorf("pretrain: epochs %d / batch %d must be positive", c.Epochs, c.BatchSize)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("pretrain: LR must be positive")
+	}
+	if c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
+		return fmt.Errorf("pretrain: warmup fraction %v outside [0,1)", c.WarmupFrac)
+	}
+	return c.Mask.Validate()
+}
+
+// History records training progress.
+type History struct {
+	// EpochLoss is the mean MLM loss per epoch.
+	EpochLoss []float64
+	// Steps is the total optimizer steps taken.
+	Steps int
+	// FinalLoss is the mean loss of the last epoch.
+	FinalLoss float64
+}
+
+// Run pre-trains m on the tokenized sequences. Each element of seqs is one
+// command line already encoded as [CLS] ... [SEP]. Sequences shorter than
+// two tokens are skipped.
+func Run(m *model.Model, seqs [][]int, cfg Config) (History, error) {
+	var hist History
+	if err := cfg.Validate(); err != nil {
+		return hist, err
+	}
+	data := make([][]int, 0, len(seqs))
+	maxLen := m.Encoder.Config().MaxSeqLen
+	for _, s := range seqs {
+		if len(s) >= 2 && len(s) <= maxLen {
+			data = append(data, s)
+		}
+	}
+	if len(data) == 0 {
+		return hist, fmt.Errorf("pretrain: no usable sequences")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := m.Params()
+	stepsPerEpoch := (len(data) + cfg.BatchSize - 1) / cfg.BatchSize
+	total := stepsPerEpoch * cfg.Epochs
+	sched := nn.WarmupLinear{
+		Peak:   cfg.LR,
+		Warmup: int(float64(total) * cfg.WarmupFrac),
+		Total:  total,
+	}
+	opt := nn.NewAdamW(params, cfg.LR, cfg.WeightDecay)
+	vocab := m.Encoder.Config().VocabSize
+
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sum, batches := 0.0, 0
+		for at := 0; at < len(order); at += cfg.BatchSize {
+			end := at + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			var batchSeqs [][]int
+			var labels []int
+			for _, di := range order[at:end] {
+				masked, labs := cfg.Mask.Mask(data[di], vocab, rng)
+				batchSeqs = append(batchSeqs, masked)
+				labels = append(labels, labs...)
+			}
+			batch := model.NewBatch(batchSeqs)
+			loss, err := m.MLMLoss(batch, labels, IgnoreIndex, true, rng)
+			if err != nil {
+				return hist, fmt.Errorf("pretrain: step %d: %w", step, err)
+			}
+			if err := loss.Backward(); err != nil {
+				return hist, fmt.Errorf("pretrain: step %d backward: %w", step, err)
+			}
+			if cfg.GradClip > 0 {
+				nn.ClipGradNorm(params, cfg.GradClip)
+			}
+			opt.SetLR(sched.At(step))
+			opt.Step()
+			sum += loss.Item()
+			batches++
+			step++
+		}
+		epochLoss := sum / float64(batches)
+		hist.EpochLoss = append(hist.EpochLoss, epochLoss)
+		if cfg.Logf != nil {
+			cfg.Logf("pretrain: epoch %d/%d loss %.4f lr %.2e", epoch+1, cfg.Epochs, epochLoss, opt.LR())
+		}
+	}
+	hist.Steps = step
+	hist.FinalLoss = hist.EpochLoss[len(hist.EpochLoss)-1]
+	return hist, nil
+}
+
+// Evaluate computes the mean MLM loss over held-out sequences with a fixed
+// masking seed, for monitoring generalization.
+func Evaluate(m *model.Model, seqs [][]int, mask MaskConfig, batchSize int, seed int64) (float64, error) {
+	if err := mask.Validate(); err != nil {
+		return 0, err
+	}
+	if batchSize <= 0 {
+		batchSize = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vocab := m.Encoder.Config().VocabSize
+	maxLen := m.Encoder.Config().MaxSeqLen
+	data := make([][]int, 0, len(seqs))
+	for _, s := range seqs {
+		if len(s) >= 2 && len(s) <= maxLen {
+			data = append(data, s)
+		}
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("pretrain: no usable sequences")
+	}
+	sum, batches := 0.0, 0
+	for at := 0; at < len(data); at += batchSize {
+		end := at + batchSize
+		if end > len(data) {
+			end = len(data)
+		}
+		var batchSeqs [][]int
+		var labels []int
+		for _, s := range data[at:end] {
+			masked, labs := mask.Mask(s, vocab, rng)
+			batchSeqs = append(batchSeqs, masked)
+			labels = append(labels, labs...)
+		}
+		loss, err := m.MLMLoss(model.NewBatch(batchSeqs), labels, IgnoreIndex, false, nil)
+		if err != nil {
+			return 0, err
+		}
+		sum += loss.Item()
+		batches++
+	}
+	return sum / float64(batches), nil
+}

@@ -1,0 +1,217 @@
+package pretrain
+
+import (
+	"math/rand"
+	"testing"
+
+	"clmids/internal/bpe"
+	"clmids/internal/model"
+)
+
+func TestMaskConfigValidate(t *testing.T) {
+	if err := DefaultMask().Validate(); err != nil {
+		t.Fatalf("default mask invalid: %v", err)
+	}
+	bad := []MaskConfig{
+		{Prob: 0, MaskRatio: 0.8, RandomRatio: 0.1},
+		{Prob: 1, MaskRatio: 0.8, RandomRatio: 0.1},
+		{Prob: 0.15, MaskRatio: 0.8, RandomRatio: 0.3},
+		{Prob: 0.15, MaskRatio: -0.1, RandomRatio: 0.1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid mask accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestMaskNeverTouchesSpecials(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := MaskConfig{Prob: 0.9, MaskRatio: 0.8, RandomRatio: 0.1}
+	ids := []int{bpe.ClsID, 10, 11, 12, 13, bpe.SepID}
+	for trial := 0; trial < 100; trial++ {
+		masked, labels := cfg.Mask(ids, 50, rng)
+		if masked[0] != bpe.ClsID || masked[len(masked)-1] != bpe.SepID {
+			t.Fatal("special token was corrupted")
+		}
+		if labels[0] != IgnoreIndex || labels[len(labels)-1] != IgnoreIndex {
+			t.Fatal("special token was labeled")
+		}
+	}
+}
+
+func TestMaskAlwaysSelectsAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := MaskConfig{Prob: 0.001, MaskRatio: 1, RandomRatio: 0}
+	ids := []int{bpe.ClsID, 10, bpe.SepID}
+	for trial := 0; trial < 50; trial++ {
+		_, labels := cfg.Mask(ids, 50, rng)
+		n := 0
+		for _, l := range labels {
+			if l != IgnoreIndex {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no position selected")
+		}
+	}
+}
+
+func TestMaskLabelsHoldOriginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := MaskConfig{Prob: 0.5, MaskRatio: 1, RandomRatio: 0}
+	ids := []int{bpe.ClsID, 10, 11, 12, bpe.SepID}
+	masked, labels := cfg.Mask(ids, 50, rng)
+	for i, l := range labels {
+		if l == IgnoreIndex {
+			continue
+		}
+		if l != ids[i] {
+			t.Fatalf("label %d = %d, want original %d", i, l, ids[i])
+		}
+		if masked[i] != bpe.MaskID {
+			t.Fatalf("with MaskRatio=1 position %d should be [MASK], got %d", i, masked[i])
+		}
+	}
+}
+
+func TestMaskRatioStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultMask()
+	ids := make([]int, 1002)
+	ids[0] = bpe.ClsID
+	ids[len(ids)-1] = bpe.SepID
+	for i := 1; i < len(ids)-1; i++ {
+		ids[i] = 10 + i%30
+	}
+	selected, maskTok := 0, 0
+	trials := 30
+	for trial := 0; trial < trials; trial++ {
+		masked, labels := cfg.Mask(ids, 100, rng)
+		for i, l := range labels {
+			if l == IgnoreIndex {
+				continue
+			}
+			selected++
+			if masked[i] == bpe.MaskID {
+				maskTok++
+			}
+		}
+	}
+	totalPositions := float64(trials * 1000)
+	selRate := float64(selected) / totalPositions
+	if selRate < 0.12 || selRate > 0.18 {
+		t.Errorf("selection rate %.3f, want ~0.15", selRate)
+	}
+	maskRate := float64(maskTok) / float64(selected)
+	if maskRate < 0.75 || maskRate > 0.85 {
+		t.Errorf("[MASK] replacement rate %.3f, want ~0.8", maskRate)
+	}
+}
+
+func tinyModel(t testing.TB) *model.Model {
+	t.Helper()
+	cfg := model.Config{
+		VocabSize: 300, MaxSeqLen: 16, Hidden: 16, Layers: 1, Heads: 2,
+		FFN: 32, LayerNormEps: 1e-5, Dropout: 0,
+	}
+	m, err := model.NewModel(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func toySeqs() [][]int {
+	// A tiny synthetic language with strong bigram structure so the MLM
+	// objective has something to learn.
+	var seqs [][]int
+	for i := 0; i < 60; i++ {
+		a := 10 + (i % 5)
+		seqs = append(seqs, []int{bpe.ClsID, a, a + 100, a + 200, bpe.SepID})
+	}
+	return seqs
+}
+
+func TestRunReducesLoss(t *testing.T) {
+	m := tinyModel(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 4
+	cfg.BatchSize = 8
+	cfg.LR = 3e-3
+	hist, err := Run(m, toySeqs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.EpochLoss) != 4 {
+		t.Fatalf("epoch losses = %d, want 4", len(hist.EpochLoss))
+	}
+	if hist.FinalLoss >= hist.EpochLoss[0] {
+		t.Fatalf("loss did not drop: %v", hist.EpochLoss)
+	}
+	if hist.Steps != 4*8 { // 60 seqs / batch 8 = 8 steps per epoch
+		t.Fatalf("steps = %d, want 32", hist.Steps)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	m := tinyModel(t)
+	if _, err := Run(m, nil, DefaultConfig()); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 0
+	if _, err := Run(m, toySeqs(), cfg); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	// Over-length sequences are skipped; all-over-length means no data.
+	long := make([]int, 64)
+	if _, err := Run(m, [][]int{long}, DefaultConfig()); err == nil {
+		t.Error("over-length-only corpus accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.BatchSize = 8
+	m1 := tinyModel(t)
+	h1, err := Run(m1, toySeqs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := tinyModel(t)
+	h2, err := Run(m2, toySeqs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.FinalLoss != h2.FinalLoss {
+		t.Fatalf("same seed, different loss: %v vs %v", h1.FinalLoss, h2.FinalLoss)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m := tinyModel(t)
+	seqs := toySeqs()
+	before, err := Evaluate(m, seqs, DefaultMask(), 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	cfg.LR = 3e-3
+	if _, err := Run(m, seqs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Evaluate(m, seqs, DefaultMask(), 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("held-out loss did not improve: %.4f -> %.4f", before, after)
+	}
+	if _, err := Evaluate(m, nil, DefaultMask(), 8, 7); err == nil {
+		t.Error("empty eval set accepted")
+	}
+}

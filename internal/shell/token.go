@@ -1,0 +1,266 @@
+// Package shell implements a POSIX-style shell command-line lexer and parser.
+//
+// It plays the role of bashlex in the paper's pre-processing stage (Fig. 2):
+// each logged command line is parsed into a tree of commands so that
+// syntactically invalid lines (typos, corrupted log records, nonsense
+// operators such as "->") can be rejected before they reach the language
+// model, and so that command names can be separated from flags and arguments
+// for the command-frequency filter.
+//
+// The dialect covered is the common core of POSIX sh and bash as it appears
+// in interactive command lines: simple commands, variable assignments,
+// pipelines (| and |&), and/or lists (&& and ||), sequential lists (; and &),
+// subshells, redirections (including file-descriptor forms), single and
+// double quoting, backslash escapes, parameter expansion ($VAR, ${...}),
+// command substitution ($(...), `...`), and arithmetic expansion ($((...))).
+// Flow-control keywords (if, for, while, ...) are treated as ordinary words,
+// which is sufficient for log triage and mirrors how the paper uses bashlex.
+package shell
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Operators use one kind per distinct operator so the parser
+// can switch on them directly.
+const (
+	TokenEOF TokenKind = iota + 1
+	TokenWord
+	TokenIONumber  // digits immediately preceding a redirection operator
+	TokenSemi      // ;
+	TokenAmp       // &
+	TokenAndIf     // &&
+	TokenOrIf      // ||
+	TokenPipe      // |
+	TokenPipeAmp   // |& (bash: pipe stdout+stderr)
+	TokenLParen    // (
+	TokenRParen    // )
+	TokenLess      // <
+	TokenGreat     // >
+	TokenDGreat    // >>
+	TokenDLess     // <<
+	TokenDLessDash // <<-
+	TokenLessAnd   // <&
+	TokenGreatAnd  // >&
+	TokenLessGreat // <>
+	TokenClobber   // >|
+	TokenAmpGreat  // &> (bash)
+	TokenAmpDGreat // &>> (bash)
+)
+
+var tokenKindNames = map[TokenKind]string{
+	TokenEOF:       "EOF",
+	TokenWord:      "WORD",
+	TokenIONumber:  "IO_NUMBER",
+	TokenSemi:      ";",
+	TokenAmp:       "&",
+	TokenAndIf:     "&&",
+	TokenOrIf:      "||",
+	TokenPipe:      "|",
+	TokenPipeAmp:   "|&",
+	TokenLParen:    "(",
+	TokenRParen:    ")",
+	TokenLess:      "<",
+	TokenGreat:     ">",
+	TokenDGreat:    ">>",
+	TokenDLess:     "<<",
+	TokenDLessDash: "<<-",
+	TokenLessAnd:   "<&",
+	TokenGreatAnd:  ">&",
+	TokenLessGreat: "<>",
+	TokenClobber:   ">|",
+	TokenAmpGreat:  "&>",
+	TokenAmpDGreat: "&>>",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// IsRedirect reports whether the kind is a redirection operator.
+func (k TokenKind) IsRedirect() bool {
+	switch k {
+	case TokenLess, TokenGreat, TokenDGreat, TokenDLess, TokenDLessDash,
+		TokenLessAnd, TokenGreatAnd, TokenLessGreat, TokenClobber,
+		TokenAmpGreat, TokenAmpDGreat:
+		return true
+	}
+	return false
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the raw source text of the token, including quotes.
+	Text string
+	// Word holds the structured form when Kind is TokenWord.
+	Word *Word
+	// Pos is the byte offset of the token's first character in the input.
+	Pos int
+}
+
+// String renders the token for error messages and debugging.
+func (t Token) String() string {
+	if t.Kind == TokenWord {
+		return fmt.Sprintf("word %q", t.Text)
+	}
+	return fmt.Sprintf("%q", t.Kind.String())
+}
+
+// PartKind identifies the kind of a word part.
+type PartKind int
+
+// Word part kinds.
+const (
+	PartLiteral PartKind = iota + 1
+	PartSingleQuoted
+	PartDoubleQuoted
+	PartVar    // $NAME or ${...}
+	PartCmdSub // $(...) or `...`
+	PartArith  // $((...))
+	PartEscape // backslash-escaped character
+)
+
+var partKindNames = map[PartKind]string{
+	PartLiteral:      "literal",
+	PartSingleQuoted: "single-quoted",
+	PartDoubleQuoted: "double-quoted",
+	PartVar:          "variable",
+	PartCmdSub:       "command-substitution",
+	PartArith:        "arithmetic",
+	PartEscape:       "escape",
+}
+
+// String returns a human-readable name for the part kind.
+func (k PartKind) String() string {
+	if s, ok := partKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("PartKind(%d)", int(k))
+}
+
+// WordPart is one syntactic piece of a word.
+type WordPart struct {
+	Kind PartKind
+	// Raw is the exact source text of the part, including any quotes or
+	// expansion delimiters.
+	Raw string
+	// Inner is the content between delimiters: the text inside quotes, the
+	// variable name, or the command inside a substitution.
+	Inner string
+}
+
+// Word is a shell word: a maximal run of non-metacharacter text possibly
+// containing quoted regions and expansions.
+type Word struct {
+	// Raw is the exact source text of the word.
+	Raw string
+	// Parts decomposes the word; concatenating Parts[i].Raw yields Raw.
+	Parts []WordPart
+	// Pos is the byte offset of the word in the input.
+	Pos int
+}
+
+// Unquoted returns the word with quoting removed but expansions left as
+// written ("$HOME" stays "$HOME"). This is the canonical token surface the
+// rest of the pipeline works with.
+func (w *Word) Unquoted() string {
+	if w == nil {
+		return ""
+	}
+	buf := make([]byte, 0, len(w.Raw))
+	for _, p := range w.Parts {
+		switch p.Kind {
+		case PartLiteral:
+			buf = append(buf, p.Raw...)
+		case PartSingleQuoted, PartDoubleQuoted:
+			buf = append(buf, p.Inner...)
+		case PartEscape:
+			buf = append(buf, p.Inner...)
+		default:
+			buf = append(buf, p.Raw...)
+		}
+	}
+	return string(buf)
+}
+
+// HasExpansion reports whether the word contains parameter or command
+// substitution or arithmetic expansion anywhere, including inside double
+// quotes.
+func (w *Word) HasExpansion() bool {
+	if w == nil {
+		return false
+	}
+	for _, p := range w.Parts {
+		switch p.Kind {
+		case PartVar, PartCmdSub, PartArith:
+			return true
+		case PartDoubleQuoted:
+			if containsExpansion(p.Inner) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsAssignment reports whether the word has the shape NAME=value with a
+// valid identifier before the first unquoted '='.
+func (w *Word) IsAssignment() bool {
+	if w == nil || len(w.Parts) == 0 || w.Parts[0].Kind != PartLiteral {
+		return false
+	}
+	lit := w.Parts[0].Raw
+	for i := 0; i < len(lit); i++ {
+		c := lit[i]
+		if c == '=' {
+			return i > 0
+		}
+		if !isIdentChar(c, i == 0) {
+			return false
+		}
+	}
+	return false
+}
+
+// AssignmentName returns the NAME part of a NAME=value word, or "" when the
+// word is not an assignment.
+func (w *Word) AssignmentName() string {
+	if !w.IsAssignment() {
+		return ""
+	}
+	lit := w.Parts[0].Raw
+	for i := 0; i < len(lit); i++ {
+		if lit[i] == '=' {
+			return lit[:i]
+		}
+	}
+	return ""
+}
+
+func isIdentChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func containsExpansion(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '$', '`':
+			return true
+		}
+	}
+	return false
+}

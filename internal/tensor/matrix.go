@@ -1,0 +1,225 @@
+// Package tensor provides dense float64 matrices and a reverse-mode
+// automatic-differentiation engine, the numerical substrate for the
+// command-line language model (§II-B) and the tuning objectives (§IV).
+//
+// The design is an eager tape: every operation computes its value
+// immediately and records a closure that propagates gradients to its
+// parents. Graphs are built per step and garbage-collected afterwards.
+// Attention is a single fused operation with a hand-derived backward pass so
+// that one transformer layer contributes a handful of tape nodes rather than
+// thousands.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// AddInPlace adds o elementwise into m.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AxpyInPlace performs m += alpha * o.
+func (m *Matrix) AxpyInPlace(alpha float64, o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Axpy shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MatMulInto computes out = a·b, overwriting out. Shapes must agree.
+// The kernel uses the i-k-j loop order with row slices, which keeps the
+// inner loop sequential over both operands.
+func MatMulInto(a, b, out *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMul computes a·b into a new matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulATBInto computes out += aᵀ·b without materializing the transpose.
+// Note the accumulation: callers use it for gradient updates.
+func MatMulATBInto(a, b, out *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB shapes %dx%d ᵀ· %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABTInto computes out += a·bᵀ without materializing the transpose.
+func MatMulABTInto(a, b, out *Matrix) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT shapes %dx%d · %dx%d ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+				s := 0.0
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] += s
+			}
+		}
+	})
+}
+
+// TransposeOf returns aᵀ as a new matrix.
+func TransposeOf(a *Matrix) *Matrix {
+	out := NewMatrix(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range arow {
+			out.Data[j*a.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// parallelRows splits [0, n) across GOMAXPROCS workers when the work is
+// large enough to amortize goroutine startup; otherwise it runs inline.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	if !reflect.DeepEqual(got.Data, want) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func matricesClose(a, b *Matrix, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickMatMulAgainstNaive(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(values []reflect.Value, r *rand.Rand) {
+			m, k, n := 1+r.Intn(12), 1+r.Intn(12), 1+r.Intn(12)
+			values[0] = reflect.ValueOf(randMatrix(r, m, k))
+			values[1] = reflect.ValueOf(randMatrix(r, k, n))
+		},
+	}
+	prop := func(a, b *Matrix) bool {
+		return matricesClose(MatMul(a, b), naiveMatMul(a, b), 1e-10)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulATB(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := randMatrix(r, 5, 3)
+	b := randMatrix(r, 5, 4)
+	out := NewMatrix(3, 4)
+	MatMulATBInto(a, b, out)
+	want := naiveMatMul(TransposeOf(a), b)
+	if !matricesClose(out, want, 1e-12) {
+		t.Fatalf("ATB mismatch")
+	}
+	// Accumulation semantics: calling again doubles the result.
+	MatMulATBInto(a, b, out)
+	want.ScaleInPlace(2)
+	if !matricesClose(out, want, 1e-12) {
+		t.Fatalf("ATB should accumulate")
+	}
+}
+
+func TestMatMulABT(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randMatrix(r, 5, 3)
+	b := randMatrix(r, 4, 3)
+	out := NewMatrix(5, 4)
+	MatMulABTInto(a, b, out)
+	want := naiveMatMul(a, TransposeOf(b))
+	if !matricesClose(out, want, 1e-12) {
+		t.Fatalf("ABT mismatch")
+	}
+}
+
+func TestTransposeOf(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := TransposeOf(a)
+	want := FromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !reflect.DeepEqual(got.Data, want.Data) || got.Rows != 3 || got.Cols != 2 {
+		t.Fatalf("TransposeOf = %+v", got)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := FromSlice(2, 2, []float64{3, 4, 0, 0})
+	if got := m.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone aliases data")
+	}
+	m.Fill(2)
+	m.AxpyInPlace(3, FromSlice(2, 2, []float64{1, 1, 1, 1}))
+	for _, v := range m.Data {
+		if v != 5 {
+			t.Fatalf("Axpy result = %v, want all 5", m.Data)
+		}
+	}
+	m.Zero()
+	if m.Norm2() != 0 {
+		t.Error("Zero did not clear")
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	x := randMatrix(r, 128, 128)
+	y := randMatrix(r, 128, 128)
+	out := NewMatrix(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(x, y, out)
+	}
+}

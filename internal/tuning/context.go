@@ -1,0 +1,80 @@
+package tuning
+
+import "strings"
+
+// TimedLine is one logged command line with the session context needed to
+// build multi-line inputs.
+type TimedLine struct {
+	User string
+	Time int64
+	Line string
+}
+
+// ContextConfig controls multi-line input construction (§IV-C).
+type ContextConfig struct {
+	// Window is the number of temporally contiguous lines (including the
+	// current one) concatenated per input. The paper uses 3.
+	Window int
+	// MaxGap is the largest allowed gap in seconds between consecutive
+	// lines; earlier lines "whose execution time is too long ago" are not
+	// attached. Default 600 (10 minutes).
+	MaxGap int64
+}
+
+// DefaultContextConfig matches the paper: three contiguous lines.
+func DefaultContextConfig() ContextConfig {
+	return ContextConfig{Window: 3, MaxGap: 600}
+}
+
+// BuildContexts converts a timestamp-ordered log into multi-line inputs:
+// for each line, the most recent preceding lines of the same user (within
+// MaxGap of their successor) are prepended, joined with the shell separator
+// "; ". The result is parallel to the input.
+func BuildContexts(items []TimedLine, cfg ContextConfig) []string {
+	window := cfg.Window
+	if window <= 0 {
+		window = 3
+	}
+	maxGap := cfg.MaxGap
+	if maxGap <= 0 {
+		maxGap = 600
+	}
+	// Track per-user recent history as (time, line) ring of size window-1.
+	type hist struct {
+		times []int64
+		lines []string
+	}
+	byUser := make(map[string]*hist)
+	out := make([]string, len(items))
+	for i, it := range items {
+		h := byUser[it.User]
+		if h == nil {
+			h = &hist{}
+			byUser[it.User] = h
+		}
+		// Collect usable context: walk back while gaps stay small.
+		var ctx []string
+		last := it.Time
+		for j := len(h.lines) - 1; j >= 0 && len(ctx) < window-1; j-- {
+			if last-h.times[j] > maxGap {
+				break
+			}
+			ctx = append(ctx, h.lines[j])
+			last = h.times[j]
+		}
+		// ctx is newest-first; reverse into chronological order.
+		for l, r := 0, len(ctx)-1; l < r; l, r = l+1, r-1 {
+			ctx[l], ctx[r] = ctx[r], ctx[l]
+		}
+		ctx = append(ctx, it.Line)
+		out[i] = strings.Join(ctx, " ; ")
+
+		h.times = append(h.times, it.Time)
+		h.lines = append(h.lines, it.Line)
+		if len(h.lines) > window {
+			h.times = h.times[1:]
+			h.lines = h.lines[1:]
+		}
+	}
+	return out
+}

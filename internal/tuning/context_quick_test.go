@@ -1,0 +1,94 @@
+package tuning
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genLog builds a random multi-user timestamped log.
+func genLog(r *rand.Rand) []TimedLine {
+	n := 1 + r.Intn(80)
+	out := make([]TimedLine, n)
+	clock := int64(0)
+	for i := range out {
+		clock += int64(1 + r.Intn(400))
+		out[i] = TimedLine{
+			User: fmt.Sprintf("u%d", r.Intn(4)),
+			Time: clock,
+			Line: fmt.Sprintf("cmd%d arg%d", r.Intn(20), r.Intn(5)),
+		}
+	}
+	return out
+}
+
+// TestQuickBuildContextsInvariants: output is parallel to the input, every
+// context ends with its own line, contains at most Window lines, and only
+// lines of the same user.
+func TestQuickBuildContextsInvariants(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(values []reflect.Value, r *rand.Rand) {
+			values[0] = reflect.ValueOf(genLog(r))
+			values[1] = reflect.ValueOf(1 + r.Intn(4))
+		},
+	}
+	prop := func(log []TimedLine, window int) bool {
+		ctxCfg := ContextConfig{Window: window, MaxGap: 300}
+		got := BuildContexts(log, ctxCfg)
+		if len(got) != len(log) {
+			return false
+		}
+		// Per-user line history for membership checking.
+		seenByUser := map[string]map[string]bool{}
+		for i, it := range log {
+			parts := strings.Split(got[i], " ; ")
+			if len(parts) > window || len(parts) == 0 {
+				return false
+			}
+			if parts[len(parts)-1] != it.Line {
+				return false
+			}
+			userSeen := seenByUser[it.User]
+			for _, p := range parts[:len(parts)-1] {
+				if !userSeen[p] {
+					return false // context line never issued by this user
+				}
+			}
+			if userSeen == nil {
+				userSeen = map[string]bool{}
+				seenByUser[it.User] = userSeen
+			}
+			userSeen[it.Line] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBuildContextsWindowOne: window 1 must return the lines verbatim.
+func TestQuickBuildContextsWindowOne(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(values []reflect.Value, r *rand.Rand) {
+			values[0] = reflect.ValueOf(genLog(r))
+		},
+	}
+	prop := func(log []TimedLine) bool {
+		got := BuildContexts(log, ContextConfig{Window: 1, MaxGap: 600})
+		for i, it := range log {
+			if got[i] != it.Line {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

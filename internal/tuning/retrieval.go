@@ -1,0 +1,52 @@
+package tuning
+
+import (
+	"clmids/internal/anomaly"
+	"clmids/internal/bpe"
+	"clmids/internal/model"
+)
+
+// RetrievalScorer is the §IV-D method lifted to raw command lines: embed
+// with the frozen pre-trained encoder, then score by average cosine
+// similarity to the k nearest malicious-labeled training embeddings. It
+// requires no tuning of the language model.
+type RetrievalScorer struct {
+	enc *model.Encoder
+	tok *bpe.Tokenizer
+	ret *anomaly.Retrieval
+}
+
+var _ Scorer = (*RetrievalScorer)(nil)
+
+// TrainRetrieval indexes the labeled training lines. k=1 reproduces the
+// paper's 1NN setting.
+func TrainRetrieval(enc *model.Encoder, tok *bpe.Tokenizer, lines []string, labels []bool, k int) (*RetrievalScorer, error) {
+	if _, err := checkSupervision(lines, labels); err != nil {
+		return nil, err
+	}
+	emb, err := EmbedLines(enc, tok, lines)
+	if err != nil {
+		return nil, err
+	}
+	ret := anomaly.NewRetrieval(k)
+	if err := ret.FitLabeled(emb, labels); err != nil {
+		return nil, err
+	}
+	return &RetrievalScorer{enc: enc, tok: tok, ret: ret}, nil
+}
+
+// Score implements Scorer.
+func (r *RetrievalScorer) Score(lines []string) ([]float64, error) {
+	emb, err := EmbedLines(r.enc, r.tok, lines)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, emb.Rows)
+	for i := 0; i < emb.Rows; i++ {
+		out[i] = r.ret.Score(emb.Row(i))
+	}
+	return out, nil
+}
+
+// Retrieval exposes the underlying index (for the majority-vote ablation).
+func (r *RetrievalScorer) Retrieval() *anomaly.Retrieval { return r.ret }

@@ -1,0 +1,101 @@
+// Package tuning implements the paper's four ways of adapting the
+// pre-trained command-line language model to intrusion detection with noisy
+// supervision (§IV):
+//
+//   - reconstruction-based tuning (§IV-A): alternate between refitting the
+//     PCA projection W and tuning f(·) to maximize the share of
+//     reconstruction error carried by intrusion-labeled lines (Eq. 2);
+//   - classification-based tuning (§IV-B): a two-layer perceptron head on
+//     the [CLS] embedding, backbone frozen;
+//   - multi-line classification (§IV-C): the same head over temporally
+//     contiguous command lines of one user joined with ";";
+//   - retrieval-based detection (§IV-D): average similarity to the nearest
+//     malicious training neighbours, no tuning at all.
+//
+// Every method satisfies Scorer: higher scores mean more intrusion-like.
+package tuning
+
+import (
+	"fmt"
+
+	"clmids/internal/bpe"
+	"clmids/internal/model"
+	"clmids/internal/tensor"
+)
+
+// Scorer scores raw command lines for intrusion likelihood.
+type Scorer interface {
+	// Score returns one score per line; higher = more suspicious.
+	Score(lines []string) ([]float64, error)
+}
+
+// embedBatchSize bounds encoder forward batches during feature extraction.
+const embedBatchSize = 32
+
+// EmbedLines runs the (frozen) encoder over lines and returns mean-pooled
+// embeddings, one row per line — the f(t) of Eq. (1).
+func EmbedLines(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
+	return extract(enc, tok, lines, func(b model.Batch) (*tensor.Tensor, error) {
+		return enc.MeanPoolTensor(b, false, nil)
+	})
+}
+
+// CLSLines runs the (frozen) encoder over lines and returns the [CLS]
+// hidden states — the classification head's input.
+func CLSLines(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
+	return extract(enc, tok, lines, func(b model.Batch) (*tensor.Tensor, error) {
+		return enc.CLSTensor(b, false, nil)
+	})
+}
+
+func extract(enc *model.Encoder, tok *bpe.Tokenizer, lines []string,
+	fn func(model.Batch) (*tensor.Tensor, error)) (*tensor.Matrix, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("tuning: no lines to embed")
+	}
+	cfg := enc.Config()
+	out := tensor.NewMatrix(len(lines), cfg.Hidden)
+	for at := 0; at < len(lines); at += embedBatchSize {
+		end := at + embedBatchSize
+		if end > len(lines) {
+			end = len(lines)
+		}
+		seqs := make([][]int, 0, end-at)
+		for _, line := range lines[at:end] {
+			seqs = append(seqs, tok.EncodeForModel(line, cfg.MaxSeqLen))
+		}
+		t, err := fn(model.NewBatch(seqs))
+		if err != nil {
+			return nil, fmt.Errorf("tuning: embedding lines %d..%d: %w", at, end, err)
+		}
+		if t.Rows() != end-at {
+			return nil, fmt.Errorf("tuning: batch produced %d rows for %d lines", t.Rows(), end-at)
+		}
+		for i := 0; i < t.Rows(); i++ {
+			copy(out.Row(at+i), t.Val.Row(i))
+		}
+	}
+	return out, nil
+}
+
+// checkSupervision validates a labeled training set and counts positives.
+func checkSupervision(lines []string, labels []bool) (positives int, err error) {
+	if len(lines) == 0 {
+		return 0, fmt.Errorf("tuning: empty training set")
+	}
+	if len(lines) != len(labels) {
+		return 0, fmt.Errorf("tuning: %d lines but %d labels", len(lines), len(labels))
+	}
+	for _, y := range labels {
+		if y {
+			positives++
+		}
+	}
+	if positives == 0 {
+		return 0, fmt.Errorf("tuning: supervision contains no positive labels")
+	}
+	if positives == len(lines) {
+		return 0, fmt.Errorf("tuning: supervision contains no negative labels")
+	}
+	return positives, nil
+}
