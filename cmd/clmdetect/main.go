@@ -119,7 +119,11 @@ func buildScorer(pl *core.Pipeline, method string, baseLines []string, labels []
 		cfg.Seed = seed
 		return pl.NewReconstruction(baseLines, labels, cfg)
 	case "pca":
-		emb, err := tuning.EmbedLines(pl.Model.Encoder, pl.Tok, baseLines)
+		// The PCA detector never tunes the backbone, so it scores through
+		// a persistent inference engine whose LRU cache carries repeated
+		// log lines across Score calls.
+		engine := tuning.NewEngine(pl.Model.Encoder, pl.Tok, tuning.DefaultEngineConfig())
+		emb, err := engine.EmbedLines(baseLines)
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +131,7 @@ func buildScorer(pl *core.Pipeline, method string, baseLines []string, labels []
 		if err := det.Fit(emb); err != nil {
 			return nil, err
 		}
-		return &pcaScorer{pl: pl, det: det}, nil
+		return &pcaScorer{engine: engine, det: det}, nil
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)
 	}
@@ -135,12 +139,12 @@ func buildScorer(pl *core.Pipeline, method string, baseLines []string, labels []
 
 // pcaScorer adapts the unsupervised PCA detector to the Scorer contract.
 type pcaScorer struct {
-	pl  *core.Pipeline
-	det *anomaly.PCADetector
+	engine *tuning.Engine
+	det    *anomaly.PCADetector
 }
 
 func (s *pcaScorer) Score(lines []string) ([]float64, error) {
-	emb, err := tuning.EmbedLines(s.pl.Model.Encoder, s.pl.Tok, lines)
+	emb, err := s.engine.EmbedLines(lines)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,3 @@
+module clmids
+
+go 1.24

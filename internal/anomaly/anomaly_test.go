@@ -330,3 +330,34 @@ func BenchmarkRetrievalScore(b *testing.B) {
 		ret.Score(row)
 	}
 }
+
+func TestRetrievalScoreBatchMatchesScore(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	dim, n := 6, 80
+	x := tensor.NewMatrix(n, dim)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		labels[i] = i%7 == 0
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+	}
+	ret := NewRetrieval(3)
+	if err := ret.FitLabeled(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	test := tensor.NewMatrix(33, dim)
+	for i := range test.Data {
+		test.Data[i] = r.NormFloat64()
+	}
+	got := ret.ScoreBatch(test)
+	if len(got) != test.Rows {
+		t.Fatalf("ScoreBatch returned %d scores for %d rows", len(got), test.Rows)
+	}
+	for i := 0; i < test.Rows; i++ {
+		if want := ret.Score(test.Row(i)); got[i] != want {
+			t.Fatalf("row %d: ScoreBatch %g != Score %g", i, got[i], want)
+		}
+	}
+}

@@ -92,6 +92,23 @@ func (r *Retrieval) Score(row []float64) float64 {
 	return sum / float64(len(best))
 }
 
+// ScoreBatch scores every row of x, splitting the rows across GOMAXPROCS
+// workers. Each row's kNN scan is independent, so batch scoring
+// parallelizes embarrassingly; results are identical to calling Score row
+// by row.
+func (r *Retrieval) ScoreBatch(x *tensor.Matrix) []float64 {
+	if r.malicious == nil {
+		panic("anomaly: Retrieval.ScoreBatch before FitLabeled")
+	}
+	out := make([]float64, x.Rows)
+	tensor.ParallelRows(x.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = r.Score(x.Row(i))
+		}
+	})
+	return out
+}
+
 // MajorityVote is the textbook kNN baseline the paper rejects: the verdict
 // of the k nearest neighbours (by cosine similarity) among ALL training
 // lines, malicious or benign. Exposed so the ablation experiment can show

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"clmids/internal/bpe"
@@ -137,7 +138,7 @@ func (b *memBuffer) Write(p []byte) (int, error) {
 
 func (b *memBuffer) Read(p []byte) (int, error) {
 	if b.off >= len(b.data) {
-		return 0, fmt.Errorf("EOF")
+		return 0, io.EOF
 	}
 	n := copy(p, b.data[b.off:])
 	b.off += n

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clmids/internal/tensor"
+)
+
+// maxAbsDiff returns the largest elementwise |a-b|.
+func maxAbsDiff(t *testing.T, a, b *tensor.Matrix) float64 {
+	t.Helper()
+	if !a.SameShape(b) {
+		t.Fatalf("shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	worst := 0.0
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestInferForwardGolden asserts that the tape-free inference path matches
+// the autograd forward pass bitwise: both run the same kernels in the same
+// floating-point order, so even 1e-12 of drift would flag a divergence.
+func TestInferForwardGolden(t *testing.T) {
+	enc, err := NewEncoder(tinyConfig(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tinyBatch()
+
+	want, err := enc.Forward(batch, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := NewInferScratch(enc.Config(), batch.Tokens())
+	got, err := enc.InferForward(batch, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(t, want.Val, got); d != 0 {
+		t.Errorf("InferForward diverges from Forward by %g (want bitwise match)", d)
+	}
+
+	// Second run on the same (dirtied) scratch must still match.
+	got2, err := enc.InferForward(batch, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(t, want.Val, got2); d != 0 {
+		t.Errorf("scratch reuse diverges by %g", d)
+	}
+}
+
+// TestInferEmbedAndCLSGolden checks the pooled variants against their tape
+// equivalents.
+func TestInferEmbedAndCLSGolden(t *testing.T) {
+	enc, err := NewEncoder(tinyConfig(), rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tinyBatch()
+	scratch := NewInferScratch(enc.Config(), batch.Tokens())
+
+	wantEmb, err := enc.EmbedLines(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEmb := tensor.NewMatrix(batch.Size(), enc.Config().Hidden)
+	if err := enc.InferEmbedInto(batch, scratch, gotEmb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(t, wantEmb, gotEmb); d != 0 {
+		t.Errorf("InferEmbedInto diverges by %g", d)
+	}
+
+	wantCLS, err := enc.CLSTensor(batch, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCLS := tensor.NewMatrix(batch.Size(), enc.Config().Hidden)
+	if err := enc.InferCLSInto(batch, scratch, gotCLS, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(t, wantCLS.Val, gotCLS); d != 0 {
+		t.Errorf("InferCLSInto diverges by %g", d)
+	}
+}
+
+// TestInferForwardErrors covers the guard rails.
+func TestInferForwardErrors(t *testing.T) {
+	enc, err := NewEncoder(tinyConfig(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := NewInferScratch(enc.Config(), 64)
+	if _, err := enc.InferForward(tinyBatch(), nil); err == nil {
+		t.Error("nil scratch accepted")
+	}
+	if _, err := enc.InferForward(Batch{}, scratch); err == nil {
+		t.Error("empty batch accepted")
+	}
+	bad := Batch{IDs: []int{1, 2, 9999}, Lens: []int{3}}
+	if _, err := enc.InferForward(bad, scratch); err == nil {
+		t.Error("out-of-vocab batch accepted")
+	}
+	other := tinyConfig()
+	other.Hidden = 32
+	other.FFN = 64
+	if _, err := enc.InferForward(tinyBatch(), NewInferScratch(other, 64)); err == nil {
+		t.Error("mismatched scratch accepted")
+	}
+}
+
+// TestInferScratchGrows verifies a small scratch transparently grows for a
+// bigger batch instead of failing.
+func TestInferScratchGrows(t *testing.T) {
+	enc, err := NewEncoder(tinyConfig(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := NewInferScratch(enc.Config(), 1) // raised to MaxSeqLen, still < batch
+	var seqs [][]int
+	for s := 0; s < 8; s++ {
+		seqs = append(seqs, []int{2, 10 + s, 11, 12, 3})
+	}
+	batch := NewBatch(seqs)
+	if batch.Tokens() <= scratch.MaxTokens() {
+		t.Fatalf("batch of %d tokens does not exercise growth (cap %d)", batch.Tokens(), scratch.MaxTokens())
+	}
+	want, err := enc.Forward(batch, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.InferForward(batch, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(t, want.Val, got); d != 0 {
+		t.Errorf("grown scratch diverges by %g", d)
+	}
+}
+
+// TestInferForwardAllocFree pins the headline property of the inference
+// engine: once the scratch arena is warm, scoring a batch allocates
+// nothing.
+func TestInferForwardAllocFree(t *testing.T) {
+	enc, err := NewEncoder(tinyConfig(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tinyBatch()
+	scratch := NewInferScratch(enc.Config(), batch.Tokens())
+	out := tensor.NewMatrix(batch.Size(), enc.Config().Hidden)
+	// Warm up once (tokenizer-independent path; nothing should be lazy,
+	// but keep the measurement strictly steady-state).
+	if err := enc.InferEmbedInto(batch, scratch, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := enc.InferEmbedInto(batch, scratch, out, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state inference allocates %.1f objects/op, want 0", allocs)
+	}
+}

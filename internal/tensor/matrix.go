@@ -108,9 +108,69 @@ func (m *Matrix) Norm2() float64 {
 	return math.Sqrt(s)
 }
 
+// panelRows sizes a cache panel: how many rows of a width-cols float64
+// matrix fit in roughly 256 KiB, clamped so tiling never degenerates.
+func panelRows(cols int) int {
+	if cols <= 0 {
+		return 64
+	}
+	r := (256 << 10) / (8 * cols)
+	if r < 16 {
+		return 16
+	}
+	if r > 256 {
+		return 256
+	}
+	return r
+}
+
+// matMulRows computes out rows [lo,hi) of a·b with the i-k-j loop order,
+// cache-blocked over k so a panel of b rows stays resident across the rows
+// of a, and register-blocked four k-rows at a time so each output element
+// is loaded and stored once per four multiply-adds instead of once per
+// one. Both blockings keep k ascending per output element, so results are
+// bitwise identical to the naive triple loop. out rows must be pre-zeroed.
+func matMulRows(a, b, out *Matrix, lo, hi int) {
+	bk := panelRows(b.Cols)
+	n := b.Cols
+	for k0 := 0; k0 < b.Rows; k0 += bk {
+		k1 := k0 + bk
+		if k1 > b.Rows {
+			k1 = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*n : (i+1)*n : (i+1)*n]
+			k := k0
+			for ; k+4 <= k1; k += 4 {
+				a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				b0 := b.Data[k*n : (k+1)*n : (k+1)*n]
+				b1 := b.Data[(k+1)*n : (k+2)*n : (k+2)*n]
+				b2 := b.Data[(k+2)*n : (k+3)*n : (k+3)*n]
+				b3 := b.Data[(k+3)*n : (k+4)*n : (k+4)*n]
+				for j := range orow {
+					s := orow[j]
+					s += a0 * b0[j]
+					s += a1 * b1[j]
+					s += a2 * b2[j]
+					s += a3 * b3[j]
+					orow[j] = s
+				}
+			}
+			for ; k < k1; k++ {
+				av := arow[k]
+				brow := b.Data[k*n : (k+1)*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
 // MatMulInto computes out = a·b, overwriting out. Shapes must agree.
-// The kernel uses the i-k-j loop order with row slices, which keeps the
-// inner loop sequential over both operands.
+// The kernel is cache-blocked (tiled) over the shared dimension and splits
+// rows across GOMAXPROCS workers when the batch is large enough.
 func MatMulInto(a, b, out *Matrix) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d",
@@ -118,19 +178,7 @@ func MatMulInto(a, b, out *Matrix) {
 	}
 	out.Zero()
 	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+		matMulRows(a, b, out, lo, hi)
 	})
 }
 
@@ -163,17 +211,21 @@ func MatMulATBInto(a, b, out *Matrix) {
 	}
 }
 
-// MatMulABTInto computes out += a·bᵀ without materializing the transpose.
-func MatMulABTInto(a, b, out *Matrix) {
-	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulABT shapes %dx%d · %dx%d ᵀ -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
-	}
-	parallelRows(a.Rows, func(lo, hi int) {
+// matMulABTRows computes out rows [lo,hi) of a·bᵀ (accumulating), tiled
+// over the rows of b so a panel stays cache-resident across rows of a. Each
+// output element is one full-length dot product, so tiling does not change
+// rounding.
+func matMulABTRows(a, b, out *Matrix, lo, hi int) {
+	bj := panelRows(b.Cols)
+	for j0 := 0; j0 < b.Rows; j0 += bj {
+		j1 := j0 + bj
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-			for j := 0; j < b.Rows; j++ {
+			for j := j0; j < j1; j++ {
 				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
 				s := 0.0
 				for k, av := range arow {
@@ -182,6 +234,18 @@ func MatMulABTInto(a, b, out *Matrix) {
 				orow[j] += s
 			}
 		}
+	}
+}
+
+// MatMulABTInto computes out += a·bᵀ without materializing the transpose.
+// The kernel is cache-blocked over the rows of b.
+func MatMulABTInto(a, b, out *Matrix) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT shapes %dx%d · %dx%d ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		matMulABTRows(a, b, out, lo, hi)
 	})
 }
 
@@ -197,8 +261,15 @@ func TransposeOf(a *Matrix) *Matrix {
 	return out
 }
 
-// parallelRows splits [0, n) across GOMAXPROCS workers when the work is
+// ParallelRows splits [0, n) across GOMAXPROCS workers when the work is
 // large enough to amortize goroutine startup; otherwise it runs inline.
+// Exported so row-independent scans elsewhere (e.g. batch kNN scoring)
+// share one fan-out implementation.
+func ParallelRows(n int, fn func(lo, hi int)) {
+	parallelRows(n, fn)
+}
+
+// parallelRows is the internal implementation of ParallelRows.
 func parallelRows(n int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers <= 1 || n < 64 {

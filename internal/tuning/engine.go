@@ -1,0 +1,408 @@
+package tuning
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"clmids/internal/bpe"
+	"clmids/internal/model"
+	"clmids/internal/tensor"
+)
+
+// Engine is the forward-only batched inference engine: it scores command
+// lines through the tape-free model.InferForward path instead of the
+// autograd tape, dedupes repeated lines, buckets the remainder by token
+// length into uniform batches, and fans those batches out across
+// GOMAXPROCS workers, each with its own pooled scratch arena. An optional
+// LRU cache keyed by the whitespace-normalized line exploits the heavy
+// duplication of real command logs across calls.
+//
+// An Engine must only be used while its encoder's weights are frozen:
+// cached embeddings are never invalidated. Methods are safe for concurrent
+// use.
+type Engine struct {
+	enc *model.Encoder
+	tok *bpe.Tokenizer
+	cfg EngineConfig
+
+	pool  sync.Pool // *model.InferScratch, one per active worker
+	cache *lruCache // nil when disabled
+}
+
+// EngineConfig sizes the inference engine. The zero value selects defaults.
+type EngineConfig struct {
+	// BatchLines caps sequences per forward batch (default 32, matching
+	// the tape path's batch size).
+	BatchLines int
+	// BatchTokens caps total tokens per forward batch and sizes each
+	// worker's scratch arena (default 2048, raised to the model's
+	// MaxSeqLen so one full line always fits).
+	BatchTokens int
+	// Workers caps the batch-level fan-out (default GOMAXPROCS).
+	Workers int
+	// CacheLines enables an LRU embedding cache holding up to this many
+	// normalized lines per feature kind (0 disables; negative also
+	// disables).
+	CacheLines int
+}
+
+// DefaultEngineConfig returns the deployment defaults: tape-path batch
+// geometry, full-machine fan-out, and a 4096-line cache.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{BatchLines: embedBatchSize, BatchTokens: 2048, CacheLines: 4096}
+}
+
+// NewEngine builds an inference engine over a frozen encoder + tokenizer.
+func NewEngine(enc *model.Encoder, tok *bpe.Tokenizer, cfg EngineConfig) *Engine {
+	if cfg.BatchLines <= 0 {
+		cfg.BatchLines = embedBatchSize
+	}
+	if cfg.BatchTokens <= 0 {
+		cfg.BatchTokens = 2048
+	}
+	if mcfg := enc.Config(); cfg.BatchTokens < mcfg.MaxSeqLen {
+		cfg.BatchTokens = mcfg.MaxSeqLen
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{enc: enc, tok: tok, cfg: cfg}
+	e.pool.New = func() any {
+		return model.NewInferScratch(enc.Config(), cfg.BatchTokens)
+	}
+	if cfg.CacheLines > 0 {
+		e.cache = newLRUCache(cfg.CacheLines)
+	}
+	return e
+}
+
+// feature kinds for cache keys and batch dispatch.
+const (
+	featMean = iota // mean-pooled embedding, f(t) of Eq. (1)
+	featCLS         // [CLS] hidden state
+)
+
+// EmbedLines returns mean-pooled embeddings, one row per line — the
+// engine-backed equivalent of the package-level EmbedLines.
+func (e *Engine) EmbedLines(lines []string) (*tensor.Matrix, error) {
+	return e.run(lines, featMean)
+}
+
+// CLSLines returns the [CLS] hidden states, one row per line.
+func (e *Engine) CLSLines(lines []string) (*tensor.Matrix, error) {
+	return e.run(lines, featCLS)
+}
+
+// normalizeLine collapses whitespace, which is exactly the equivalence the
+// BPE pretokenizer induces (it splits on strings.Fields), so two lines with
+// the same normalization always embed identically.
+func normalizeLine(line string) string {
+	return strings.Join(strings.Fields(line), " ")
+}
+
+// batchSpec is one unit of worker work: consecutive entries of the
+// length-sorted miss list.
+type batchSpec struct {
+	lo, hi int
+}
+
+func (e *Engine) run(lines []string, feat int) (*tensor.Matrix, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("tuning: no lines to embed")
+	}
+	mcfg := e.enc.Config()
+	out := tensor.NewMatrix(len(lines), mcfg.Hidden)
+
+	// Dedup: identical normalized lines embed identically, so compute each
+	// one once and fan the row out afterwards.
+	keys := make([]string, len(lines))
+	repOf := make([]int, len(lines))
+	firstOf := make(map[string]int, len(lines))
+	var reps []int
+	for i, ln := range lines {
+		keys[i] = normalizeLine(ln)
+		if j, ok := firstOf[keys[i]]; ok {
+			repOf[i] = j
+			continue
+		}
+		firstOf[keys[i]] = i
+		repOf[i] = i
+		reps = append(reps, i)
+	}
+
+	// Cache probe on the representatives.
+	misses := reps
+	if e.cache != nil {
+		misses = misses[:0:0]
+		for _, i := range reps {
+			if row, ok := e.cache.get(cacheKey(feat, keys[i])); ok {
+				copy(out.Row(i), row)
+				continue
+			}
+			misses = append(misses, i)
+		}
+	}
+
+	if len(misses) > 0 {
+		if err := e.computeInto(lines, keys, misses, feat, out); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fan rows out to duplicates.
+	for i, rep := range repOf {
+		if rep != i {
+			copy(out.Row(i), out.Row(rep))
+		}
+	}
+	return out, nil
+}
+
+// computeInto tokenizes the missed lines, buckets them by token length,
+// and runs the batches across workers, writing rows of out in place.
+func (e *Engine) computeInto(lines, keys []string, misses []int, feat int, out *tensor.Matrix) error {
+	mcfg := e.enc.Config()
+	seqs := make([][]int, len(misses))
+	e.parallel(len(misses), func(lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			seqs[m] = e.tok.EncodeForModel(lines[misses[m]], mcfg.MaxSeqLen)
+		}
+		return nil
+	})
+
+	// Length bucketing: sorting by token count makes each batch's
+	// sequences uniform, so the token budget yields evenly-sized batches
+	// and worker latency stays predictable. Ties break by original order
+	// to keep runs deterministic.
+	order := make([]int, len(misses))
+	for m := range order {
+		order[m] = m
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(seqs[order[a]]) < len(seqs[order[b]])
+	})
+
+	// Greedy batch assembly under the line and token budgets.
+	var batches []batchSpec
+	lo, tokens := 0, 0
+	for at, m := range order {
+		n := len(seqs[m])
+		if at > lo && (at-lo >= e.cfg.BatchLines || tokens+n > e.cfg.BatchTokens) {
+			batches = append(batches, batchSpec{lo, at})
+			lo, tokens = at, 0
+		}
+		tokens += n
+	}
+	batches = append(batches, batchSpec{lo, len(order)})
+
+	// Work-stealing dispatch: batch costs differ (short-line batches hit
+	// the line cap well under the token budget), so workers pull the next
+	// batch from a shared counter rather than a fixed split.
+	var next atomic.Int64
+	return e.fanOut(len(batches), func() error {
+		scratch := e.pool.Get().(*model.InferScratch)
+		defer e.pool.Put(scratch)
+		pooled := tensor.NewMatrix(e.cfg.BatchLines, mcfg.Hidden)
+		for {
+			bi := int(next.Add(1)) - 1
+			if bi >= len(batches) {
+				return nil
+			}
+			b := batches[bi]
+			var batch model.Batch
+			for _, m := range order[b.lo:b.hi] {
+				batch.IDs = append(batch.IDs, seqs[m]...)
+				batch.Lens = append(batch.Lens, len(seqs[m]))
+			}
+			dst := pooled
+			if n := b.hi - b.lo; n > dst.Rows {
+				dst = tensor.NewMatrix(n, mcfg.Hidden)
+			}
+			var err error
+			if feat == featCLS {
+				err = e.enc.InferCLSInto(batch, scratch, dst, 0)
+			} else {
+				err = e.enc.InferEmbedInto(batch, scratch, dst, 0)
+			}
+			if err != nil {
+				return fmt.Errorf("tuning: inference batch of %d lines: %w", b.hi-b.lo, err)
+			}
+			for r, m := range order[b.lo:b.hi] {
+				line := misses[m]
+				copy(out.Row(line), dst.Row(r))
+				if e.cache != nil {
+					e.cache.put(cacheKey(feat, keys[line]), dst.Row(r))
+				}
+			}
+		}
+	})
+}
+
+// parallel splits [0, n) across the engine's workers and returns the first
+// error. With one worker (or tiny n) it runs inline.
+func (e *Engine) parallel(n int, fn func(lo, hi int) error) error {
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOut runs min(Workers, n) copies of a self-scheduling worker loop and
+// returns the first error. With one worker it runs inline.
+func (e *Engine) fanOut(n int, worker func() error) error {
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return worker()
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = worker()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cacheKey prefixes the normalized line with the feature kind so mean-pool
+// and [CLS] rows never collide.
+func cacheKey(feat int, norm string) string {
+	if feat == featCLS {
+		return "c\x00" + norm
+	}
+	return "m\x00" + norm
+}
+
+// lruCache is a mutex-guarded LRU over embedding rows.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*lruEntry
+	head  *lruEntry // most recent
+	tail  *lruEntry // least recent
+}
+
+type lruEntry struct {
+	key        string
+	row        []float64
+	prev, next *lruEntry
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, items: make(map[string]*lruEntry, capacity)}
+}
+
+// get returns the cached row (shared slice; callers copy, never mutate).
+func (c *lruCache) get(key string) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.moveToFront(ent)
+	return ent.row, true
+}
+
+// put inserts a copy of row, evicting the least-recently-used entry when
+// full.
+func (c *lruCache) put(key string, row []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.items[key]; ok {
+		c.moveToFront(ent)
+		return
+	}
+	ent := &lruEntry{key: key, row: append([]float64(nil), row...)}
+	c.items[key] = ent
+	c.pushFront(ent)
+	if len(c.items) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+	}
+}
+
+// len reports the live entry count (test hook).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *lruCache) pushFront(ent *lruEntry) {
+	ent.prev = nil
+	ent.next = c.head
+	if c.head != nil {
+		c.head.prev = ent
+	}
+	c.head = ent
+	if c.tail == nil {
+		c.tail = ent
+	}
+}
+
+func (c *lruCache) unlink(ent *lruEntry) {
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	} else {
+		c.head = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	} else {
+		c.tail = ent.prev
+	}
+	ent.prev, ent.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(ent *lruEntry) {
+	if c.head == ent {
+		return
+	}
+	c.unlink(ent)
+	c.pushFront(ent)
+}

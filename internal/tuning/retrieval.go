@@ -9,11 +9,12 @@ import (
 // RetrievalScorer is the §IV-D method lifted to raw command lines: embed
 // with the frozen pre-trained encoder, then score by average cosine
 // similarity to the k nearest malicious-labeled training embeddings. It
-// requires no tuning of the language model.
+// requires no tuning of the language model, so it holds a persistent
+// inference engine whose LRU cache survives across Score calls — repeated
+// lines in a production log stream skip the encoder entirely.
 type RetrievalScorer struct {
-	enc *model.Encoder
-	tok *bpe.Tokenizer
-	ret *anomaly.Retrieval
+	engine *Engine
+	ret    *anomaly.Retrieval
 }
 
 var _ Scorer = (*RetrievalScorer)(nil)
@@ -24,7 +25,8 @@ func TrainRetrieval(enc *model.Encoder, tok *bpe.Tokenizer, lines []string, labe
 	if _, err := checkSupervision(lines, labels); err != nil {
 		return nil, err
 	}
-	emb, err := EmbedLines(enc, tok, lines)
+	engine := NewEngine(enc, tok, DefaultEngineConfig())
+	emb, err := engine.EmbedLines(lines)
 	if err != nil {
 		return nil, err
 	}
@@ -32,20 +34,17 @@ func TrainRetrieval(enc *model.Encoder, tok *bpe.Tokenizer, lines []string, labe
 	if err := ret.FitLabeled(emb, labels); err != nil {
 		return nil, err
 	}
-	return &RetrievalScorer{enc: enc, tok: tok, ret: ret}, nil
+	return &RetrievalScorer{engine: engine, ret: ret}, nil
 }
 
-// Score implements Scorer.
+// Score implements Scorer: embedding runs on the batched inference engine
+// and the kNN scans fan out across cores.
 func (r *RetrievalScorer) Score(lines []string) ([]float64, error) {
-	emb, err := EmbedLines(r.enc, r.tok, lines)
+	emb, err := r.engine.EmbedLines(lines)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, emb.Rows)
-	for i := 0; i < emb.Rows; i++ {
-		out[i] = r.ret.Score(emb.Row(i))
-	}
-	return out, nil
+	return r.ret.ScoreBatch(emb), nil
 }
 
 // Retrieval exposes the underlying index (for the majority-vote ablation).

@@ -33,16 +33,38 @@ type Scorer interface {
 const embedBatchSize = 32
 
 // EmbedLines runs the (frozen) encoder over lines and returns mean-pooled
-// embeddings, one row per line — the f(t) of Eq. (1).
+// embeddings, one row per line — the f(t) of Eq. (1). Scoring goes through
+// the tape-free batched inference engine (deduped, length-bucketed,
+// parallel); the engine is transient, so no embedding outlives the call
+// and a subsequently tuned encoder can never serve stale rows. Long-lived
+// scorers over a frozen encoder should hold a NewEngine with a cache
+// instead.
 func EmbedLines(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
+	cfg := DefaultEngineConfig()
+	cfg.CacheLines = 0
+	return NewEngine(enc, tok, cfg).EmbedLines(lines)
+}
+
+// CLSLines runs the (frozen) encoder over lines and returns the [CLS]
+// hidden states — the classification head's input. Like EmbedLines it runs
+// on a transient inference engine.
+func CLSLines(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
+	cfg := DefaultEngineConfig()
+	cfg.CacheLines = 0
+	return NewEngine(enc, tok, cfg).CLSLines(lines)
+}
+
+// EmbedLinesTape is the original autograd-tape extraction path, kept as the
+// golden reference the engine is tested against and as the baseline for
+// throughput benchmarks.
+func EmbedLinesTape(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
 	return extract(enc, tok, lines, func(b model.Batch) (*tensor.Tensor, error) {
 		return enc.MeanPoolTensor(b, false, nil)
 	})
 }
 
-// CLSLines runs the (frozen) encoder over lines and returns the [CLS]
-// hidden states — the classification head's input.
-func CLSLines(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
+// CLSLinesTape is the tape-path reference for CLSLines; see EmbedLinesTape.
+func CLSLinesTape(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
 	return extract(enc, tok, lines, func(b model.Batch) (*tensor.Tensor, error) {
 		return enc.CLSTensor(b, false, nil)
 	})
