@@ -15,9 +15,11 @@ import (
 	"sync"
 	"testing"
 
+	"clmids/internal/anomaly"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
 	"clmids/internal/preprocess"
+	"clmids/internal/stream"
 	"clmids/internal/tuning"
 )
 
@@ -136,10 +138,12 @@ func BenchmarkFigure1Inference(b *testing.B) {
 const inferBenchWindow = 1000
 
 var (
-	inferBenchOnce sync.Once
-	inferBenchPl   *core.Pipeline
-	inferBenchStr  []string
-	inferBenchErr  error
+	inferBenchOnce  sync.Once
+	inferBenchPl    *core.Pipeline
+	inferBenchStr   []string
+	inferBenchDS    *corpus.Dataset
+	inferBenchTrain []string
+	inferBenchErr   error
 )
 
 func inferBenchFixture(b *testing.B) (*core.Pipeline, []string) {
@@ -157,6 +161,8 @@ func inferBenchFixture(b *testing.B) (*core.Pipeline, []string) {
 		pcfg.Pretrain.Epochs = 1
 		inferBenchPl, inferBenchErr = core.BuildPipeline(train.Lines(), pcfg)
 		inferBenchStr = test.Lines()
+		inferBenchDS = test
+		inferBenchTrain = train.Lines()
 	})
 	if inferBenchErr != nil {
 		b.Fatalf("inference fixture: %v", inferBenchErr)
@@ -233,6 +239,76 @@ func BenchmarkInferenceThroughputTape(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// streamBenchScorer builds the unsupervised PCA scorer over the bench
+// fixture with an explicit engine cache size (0 disables), so the warm and
+// cold streaming benchmarks share one construction.
+func streamBenchScorer(b *testing.B, cacheLines int) tuning.Scorer {
+	b.Helper()
+	pl, _ := inferBenchFixture(b)
+	ecfg := tuning.DefaultEngineConfig()
+	ecfg.CacheLines = cacheLines
+	engine := tuning.NewEngine(pl.Model.Encoder, pl.Tok, ecfg)
+	emb, err := engine.EmbedLines(inferBenchTrain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := &anomaly.PCADetector{}
+	if err := det.Fit(emb); err != nil {
+		b.Fatal(err)
+	}
+	return tuning.NewPCAScorer(engine, det)
+}
+
+// streamBenchRun replays the corpus test split through the full streaming
+// stack (Replayer -> Service queue -> Detector sessions -> engine-backed
+// scorer) in 1000-event windows and reports end-to-end lines/s.
+func streamBenchRun(b *testing.B, scorer tuning.Scorer, warmPasses int) {
+	_, _ = inferBenchFixture(b)
+	det := stream.NewDetector(scorer, stream.DefaultConfig())
+	svc := stream.NewService(det, stream.ServiceConfig{})
+	defer svc.Close()
+	rep := corpus.NewReplayer(inferBenchDS, true)
+	submit := func() {
+		samples := rep.NextBatch(inferBenchWindow)
+		events := make([]stream.Event, len(samples))
+		for i, s := range samples {
+			events[i] = stream.Event{User: s.User, Time: s.Time, Line: s.Line}
+		}
+		if _, err := svc.Submit(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	windows := len(inferBenchDS.Samples) / inferBenchWindow
+	for i := 0; i < warmPasses*windows; i++ {
+		submit()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkStreamingThroughput measures the streaming serving layer in its
+// deployment configuration: a recurrent event stream replayed through the
+// bounded-queue service over a warm LRU-cached scorer — the steady state a
+// long-running clmserve converges to. Compare with
+// BenchmarkStreamingThroughputCold (cache off: every unique line pays full
+// encoder cost, bounding the layer's worst case from below) and with the
+// raw-engine BenchmarkInferenceThroughput pair to see what the session and
+// queue machinery costs on top of scoring.
+func BenchmarkStreamingThroughput(b *testing.B) {
+	streamBenchRun(b, streamBenchScorer(b, 16384), 1)
+}
+
+// BenchmarkStreamingThroughputCold is the same stack with the embedding
+// cache disabled.
+func BenchmarkStreamingThroughputCold(b *testing.B) {
+	streamBenchRun(b, streamBenchScorer(b, 0), 0)
 }
 
 // BenchmarkFigure2Preprocessing regenerates the Fig. 2 pre-processing:

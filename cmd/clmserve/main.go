@@ -1,0 +1,268 @@
+// Command clmserve is the streaming detection daemon: it loads a trained
+// pipeline (see clmtrain), builds one of the paper's detection methods
+// over a labeled baseline log, and serves NDJSON-over-HTTP scoring with
+// session-aware aggregation (see internal/stream).
+//
+// Usage:
+//
+//	clmserve -model model/ -baseline data/train.jsonl \
+//	         -method retrieval -addr :8080 \
+//	         -context 3 -aggregation decay -session-threshold 0.8
+//
+// Endpoints:
+//
+//	POST /score   body: NDJSON events {"user":..,"time":..,"line":..}
+//	              (corpus JSONL records work verbatim; extra fields are
+//	              ignored, a missing time defaults to arrival time).
+//	              response: NDJSON verdicts, one per event, in order.
+//	GET  /stats   JSON snapshot of detector + queue counters.
+//
+// Ingest flows through a bounded queue: when the scoring worker falls
+// behind, /score blocks (HTTP-level backpressure) instead of buffering
+// unboundedly. On SIGINT/SIGTERM the daemon stops accepting requests,
+// drains every queued event through the detector, and exits.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clmids/internal/commercial"
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+	"clmids/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clmserve", flag.ContinueOnError)
+	modelDir := fs.String("model", "model", "trained pipeline directory")
+	baseline := fs.String("baseline", "train.jsonl", "labeled baseline log (JSONL) for supervision")
+	method := fs.String("method", "retrieval", "detection method: classifier | retrieval | reconstruction | pca")
+	addr := fs.String("addr", ":8080", "listen address")
+	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
+	seed := fs.Int64("seed", 1, "tuning seed")
+	contextN := fs.Int("context", 1, "session lines joined per scoring input (§IV-C)")
+	aggregation := fs.String("aggregation", "decay", "session aggregation: max | mean | decay")
+	lineThr := fs.Float64("line-threshold", 0, "per-line alert threshold (0 disables)")
+	sessThr := fs.Float64("session-threshold", 0, "session alert threshold (0 disables)")
+	idle := fs.Int64("idle-timeout", 1800, "session idle timeout in seconds")
+	maxLines := fs.Int("max-session-lines", 64, "sliding window length per session")
+	queue := fs.Int("queue", 64, "bounded ingest queue (requests); full queue blocks /score")
+	batch := fs.Int("batch", 512, "events coalesced per scoring batch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	agg, err := stream.ParseAggregation(*aggregation)
+	if err != nil {
+		return err
+	}
+
+	pl, err := core.LoadPipeline(*modelDir)
+	if err != nil {
+		return err
+	}
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		return err
+	}
+	ds, err := corpus.ReadJSONL(bf)
+	bf.Close()
+	if err != nil {
+		return err
+	}
+	baseLines := ds.Lines()
+	ids := commercial.Default()
+	labels, err := ids.Label(baseLines, commercial.DefaultNoise(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "clmserve: building %s scorer over %d baseline lines...\n", *method, len(baseLines))
+	scorer, err := core.BuildScorer(pl, core.ScorerConfig{
+		Method: *method, Epochs: *epochs, Seed: *seed,
+	}, baseLines, labels)
+	if err != nil {
+		return err
+	}
+
+	scfg := stream.DefaultConfig()
+	scfg.ContextWindow = *contextN
+	scfg.Aggregation = agg
+	scfg.LineThreshold = *lineThr
+	scfg.SessionThreshold = *sessThr
+	scfg.IdleTimeout = *idle
+	scfg.MaxSessionLines = *maxLines
+	svc := stream.NewService(stream.NewDetector(scorer, scfg),
+		stream.ServiceConfig{QueueRequests: *queue, BatchEvents: *batch})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: newHandler(svc, *batch)}
+
+	// Periodic idle-session sweep bounds memory across a large user
+	// population. It runs on the stream's high-water event time, not wall
+	// clock: on live traffic the two track each other, while replayed or
+	// backfilled logs (historical timestamps) keep their sessions instead
+	// of being evicted against the real clock.
+	sweep := time.NewTicker(time.Minute)
+	defer sweep.Stop()
+	go func() {
+		for range sweep.C {
+			det := svc.Detector()
+			// Wall clock caps the sweep horizon: one far-future timestamp
+			// (e.g. milliseconds sent as seconds) must not poison the
+			// high-water mark into evicting every live session.
+			hw := det.HighWater()
+			if now := time.Now().Unix(); hw > now {
+				hw = now
+			}
+			det.EvictIdle(hw)
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving on %s\n", *method, ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "clmserve: %v: draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := server.Shutdown(ctx); err != nil {
+			// A never-ending streaming /score client keeps its handler
+			// active past the deadline; force-close it — the drain below
+			// still answers everything the queue accepted.
+			fmt.Fprintf(os.Stderr, "clmserve: forced shutdown: %v\n", err)
+			server.Close()
+		}
+		svc.Close() // drain queued requests through the detector
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "clmserve: drained; %d events scored, %d session alerts\n",
+			st.Events, st.SessionAlerts)
+		return nil
+	}
+}
+
+// newHandler wires the HTTP surface over the streaming service.
+func newHandler(svc *stream.Service, chunk int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST NDJSON events", http.StatusMethodNotAllowed)
+			return
+		}
+		handleScore(svc, chunk, w, r)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(svc.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleScore streams NDJSON events through the service in chunks,
+// writing NDJSON verdicts back as each chunk completes. Submitting chunk
+// by chunk (rather than slurping the body) keeps memory bounded and
+// propagates queue backpressure to the client through TCP.
+func handleScore(svc *stream.Service, chunk int, w http.ResponseWriter, r *http.Request) {
+	if chunk <= 0 {
+		chunk = 512
+	}
+	// Verdicts stream back while the request body is still arriving; on
+	// HTTP/1 the server otherwise closes the read side at the first
+	// response write. (HTTP/2 is duplex already; the error is ignorable.)
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	out := bufio.NewWriter(w)
+	enc := json.NewEncoder(out)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	events := make([]stream.Event, 0, chunk)
+	lineNo, wrote := 0, false
+	flush := func() bool {
+		verdicts, err := svc.Submit(events)
+		events = events[:0]
+		if err != nil {
+			if !wrote {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return false
+			}
+			// Headers are already out; surface the error in-band.
+			enc.Encode(map[string]string{"error": err.Error()})
+			out.Flush()
+			return false
+		}
+		for i := range verdicts {
+			enc.Encode(&verdicts[i])
+		}
+		out.Flush()
+		wrote = wrote || len(verdicts) > 0
+		return true
+	}
+
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev stream.Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			if !wrote {
+				http.Error(w, fmt.Sprintf("line %d: %v", lineNo, err), http.StatusBadRequest)
+				return
+			}
+			enc.Encode(map[string]string{"error": fmt.Sprintf("line %d: %v", lineNo, err)})
+			out.Flush()
+			return
+		}
+		if ev.Time == 0 {
+			ev.Time = time.Now().Unix()
+		}
+		if ev.User == "" {
+			ev.User = "-"
+		}
+		events = append(events, ev)
+		if len(events) >= chunk {
+			if !flush() {
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+		out.Flush()
+		return
+	}
+	flush()
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"clmids/internal/core"
+	"clmids/internal/corpus"
+	"clmids/internal/linalg"
+	"clmids/internal/stream"
+	"clmids/internal/tuning"
+)
+
+// serveFixture trains one tiny pipeline and an unsupervised PCA scorer
+// (fast: no head tuning), shared across the handler tests.
+type serveFixture struct {
+	svc  *stream.Service
+	test *corpus.Dataset
+}
+
+var (
+	fixOnce sync.Once
+	fix     *serveFixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *serveFixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		ccfg := corpus.DefaultConfig()
+		ccfg.TrainLines = 500
+		ccfg.TestLines = 200
+		train, test, err := corpus.Generate(ccfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		pcfg := core.TinyExperiment().Pipeline
+		pcfg.Pretrain.Epochs = 1
+		pl, err := core.BuildPipeline(train.Lines(), pcfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		scorer, err := tuning.TrainPCA(pl.Model.Encoder, pl.Tok, train.Lines(), linalg.PCAOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		cfg := stream.DefaultConfig()
+		cfg.ContextWindow = 3
+		det := stream.NewDetector(scorer, cfg)
+		fix = &serveFixture{
+			svc:  stream.NewService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64}),
+			test: test,
+		}
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fix
+}
+
+func TestScoreEndpointNDJSON(t *testing.T) {
+	f := getFixture(t)
+	srv := httptest.NewServer(newHandler(f.svc, 32))
+	defer srv.Close()
+
+	// Corpus JSONL records work verbatim as events (extra fields ignored).
+	var body strings.Builder
+	n := 50
+	ds := &corpus.Dataset{Samples: f.test.Samples[:n]}
+	if err := ds.WriteJSONL(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/score", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var verdicts []stream.Verdict
+	for sc.Scan() {
+		var v stream.Verdict
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("verdict line %d: %v (%s)", len(verdicts)+1, err, sc.Text())
+		}
+		verdicts = append(verdicts, v)
+	}
+	if len(verdicts) != n {
+		t.Fatalf("%d verdicts for %d events", len(verdicts), n)
+	}
+	for i, v := range verdicts {
+		s := f.test.Samples[i]
+		if v.Line != s.Line || v.User != s.User || v.Time != s.Time {
+			t.Fatalf("verdict %d out of order: %+v vs sample %+v", i, v, s)
+		}
+		if v.SessionLines < 1 {
+			t.Fatalf("verdict %d: session lines %d", i, v.SessionLines)
+		}
+	}
+}
+
+func TestScoreEndpointMalformedLineNumber(t *testing.T) {
+	f := getFixture(t)
+	srv := httptest.NewServer(newHandler(f.svc, 32))
+	defer srv.Close()
+
+	body := `{"user":"u","time":1,"line":"ls"}` + "\n" + `{"user":` + "\n"
+	resp, err := http.Post(srv.URL+"/score", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	buf := make([]byte, 256)
+	n, _ := resp.Body.Read(buf)
+	if got := string(buf[:n]); !strings.Contains(got, "line 2") {
+		t.Fatalf("error %q does not name line 2", got)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	f := getFixture(t)
+	srv := httptest.NewServer(newHandler(f.svc, 32))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st stream.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueCapacity != 8 {
+		t.Fatalf("queue capacity %d, want 8", st.QueueCapacity)
+	}
+}
+
+func TestScoreMethodNotAllowed(t *testing.T) {
+	f := getFixture(t)
+	srv := httptest.NewServer(newHandler(f.svc, 32))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-aggregation", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown aggregation") {
+		t.Fatalf("bad aggregation: %v", err)
+	}
+	if err := run([]string{"-model", "/nonexistent"}); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+// TestScoreAfterClose: a drained service refuses new work with a 503
+// rather than hanging — run last (the fixture service is shared).
+func TestZZScoreAfterClose(t *testing.T) {
+	f := getFixture(t)
+	f.svc.Close()
+	srv := httptest.NewServer(newHandler(f.svc, 32))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/score", "application/x-ndjson",
+		strings.NewReader(`{"user":"u","time":1,"line":"ls"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}

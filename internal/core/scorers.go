@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"clmids/internal/linalg"
+	"clmids/internal/tuning"
+)
+
+// ScorerConfig selects and parameterizes a detection method for serving.
+// The same construction backs cmd/clmdetect and cmd/clmserve, so both
+// produce identical scorers from identical flags.
+type ScorerConfig struct {
+	// Method is one of classifier | retrieval | reconstruction | pca.
+	Method string
+	// Epochs tunes the classifier head (0 = method default).
+	Epochs int
+	// Seed drives tuning randomness.
+	Seed int64
+}
+
+// ScorerMethods lists the valid ScorerConfig.Method values.
+func ScorerMethods() []string {
+	return []string{"classifier", "retrieval", "reconstruction", "pca"}
+}
+
+// BuildScorer constructs the requested §III/§IV method over the pipeline's
+// backbone. Every returned scorer holds a persistent LRU-cached inference
+// engine (the backbone is frozen after construction), so a long-running
+// service amortizes the encoder across repeated log lines, and every
+// returned scorer is safe for concurrent Score calls.
+//
+// baseLines is the labeled baseline log; labels carries its (noisy)
+// supervision. The unsupervised pca method ignores labels.
+func BuildScorer(pl *Pipeline, cfg ScorerConfig, baseLines []string, labels []bool) (tuning.Scorer, error) {
+	switch cfg.Method {
+	case "classifier":
+		ccfg := tuning.DefaultClassifierConfig()
+		if cfg.Epochs > 0 {
+			ccfg.Epochs = cfg.Epochs
+		}
+		if cfg.Seed != 0 {
+			ccfg.Seed = cfg.Seed
+		}
+		ccfg.MeanPoolFeatures = true
+		return pl.NewClassifier(baseLines, labels, ccfg)
+	case "retrieval":
+		return pl.NewRetrieval(baseLines, labels, 1)
+	case "reconstruction":
+		rcfg := tuning.DefaultReconsConfig()
+		if cfg.Seed != 0 {
+			rcfg.Seed = cfg.Seed
+		}
+		return pl.NewReconstruction(baseLines, labels, rcfg)
+	case "pca":
+		return tuning.TrainPCA(pl.Model.Encoder, pl.Tok, baseLines, linalg.PCAOptions{})
+	default:
+		return nil, fmt.Errorf("core: unknown method %q (want one of %v)", cfg.Method, ScorerMethods())
+	}
+}

@@ -1,0 +1,56 @@
+package corpus
+
+// Replayer emits a dataset as a timestamped event stream, in sample order
+// (generation order is timestamp order). With Loop enabled the stream is
+// infinite: each pass replays the same samples with timestamps shifted
+// forward so event time stays strictly monotonic — the load-test stand-in
+// for the paper's continuous 30M-line/day feed, with the same
+// exact-duplicate structure a real log tail shows.
+type Replayer struct {
+	ds   *Dataset
+	at   int
+	loop bool
+	// span is the per-pass timestamp shift: last sample time - first + 1.
+	span  int64
+	shift int64
+}
+
+// NewReplayer wraps a dataset. loop selects endless replay with
+// monotonically shifted timestamps.
+func NewReplayer(ds *Dataset, loop bool) *Replayer {
+	r := &Replayer{ds: ds, loop: loop}
+	if n := len(ds.Samples); n > 0 {
+		r.span = ds.Samples[n-1].Time - ds.Samples[0].Time + 1
+	}
+	return r
+}
+
+// Next returns the next sample with its replay-adjusted timestamp; ok is
+// false when a non-looping replayer is exhausted (or the dataset is empty).
+func (r *Replayer) Next() (Sample, bool) {
+	if r.at >= len(r.ds.Samples) {
+		if !r.loop || len(r.ds.Samples) == 0 {
+			return Sample{}, false
+		}
+		r.at = 0
+		r.shift += r.span
+	}
+	s := r.ds.Samples[r.at]
+	r.at++
+	s.Time += r.shift
+	return s, true
+}
+
+// NextBatch returns up to n consecutive samples (fewer only when a
+// non-looping replayer runs dry).
+func (r *Replayer) NextBatch(n int) []Sample {
+	out := make([]Sample, 0, n)
+	for len(out) < n {
+		s, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}

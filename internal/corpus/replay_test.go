@@ -1,0 +1,84 @@
+package corpus
+
+import "testing"
+
+func replayFixture(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TrainLines = 120
+	cfg.TestLines = 40
+	_, test, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return test
+}
+
+func TestReplayerOnePass(t *testing.T) {
+	ds := replayFixture(t)
+	r := NewReplayer(ds, false)
+	n := 0
+	var last int64
+	for {
+		s, ok := r.Next()
+		if !ok {
+			break
+		}
+		if s.Time < last {
+			t.Fatalf("sample %d: time went backwards (%d < %d)", n, s.Time, last)
+		}
+		last = s.Time
+		if s.Line != ds.Samples[n].Line {
+			t.Fatalf("sample %d: line mismatch", n)
+		}
+		n++
+	}
+	if n != len(ds.Samples) {
+		t.Fatalf("replayed %d of %d samples", n, len(ds.Samples))
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("exhausted replayer produced a sample")
+	}
+}
+
+// TestReplayerLoopMonotonic: looping replay shifts timestamps so event
+// time never goes backwards across pass boundaries, and repeats lines.
+func TestReplayerLoopMonotonic(t *testing.T) {
+	ds := replayFixture(t)
+	r := NewReplayer(ds, true)
+	total := 2*len(ds.Samples) + 7
+	var last int64
+	for i := 0; i < total; i++ {
+		s, ok := r.Next()
+		if !ok {
+			t.Fatalf("looping replayer ran dry at %d", i)
+		}
+		if s.Time < last {
+			t.Fatalf("event %d: time went backwards (%d < %d)", i, s.Time, last)
+		}
+		last = s.Time
+		if want := ds.Samples[i%len(ds.Samples)].Line; s.Line != want {
+			t.Fatalf("event %d: line %q, want %q", i, s.Line, want)
+		}
+	}
+}
+
+func TestReplayerNextBatch(t *testing.T) {
+	ds := replayFixture(t)
+	r := NewReplayer(ds, false)
+	got := 0
+	for {
+		b := r.NextBatch(16)
+		got += len(b)
+		if len(b) < 16 {
+			break
+		}
+	}
+	if got != len(ds.Samples) {
+		t.Fatalf("batched replay yielded %d of %d", got, len(ds.Samples))
+	}
+	empty := NewReplayer(&Dataset{}, true)
+	if _, ok := empty.Next(); ok {
+		t.Fatal("empty looping replayer produced a sample")
+	}
+}

@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("stream: service closed")
+
+// ServiceConfig sizes the asynchronous front. The zero value selects
+// defaults.
+type ServiceConfig struct {
+	// QueueRequests bounds the request queue; a full queue blocks Submit
+	// (backpressure to the producer). Default 64.
+	QueueRequests int
+	// BatchEvents caps how many events the worker coalesces from queued
+	// requests into one Detector.Process call. Default 512.
+	BatchEvents int
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.QueueRequests <= 0 {
+		c.QueueRequests = 64
+	}
+	if c.BatchEvents <= 0 {
+		c.BatchEvents = 512
+	}
+	return c
+}
+
+// ServiceStats extends detector counters with queue state.
+type ServiceStats struct {
+	Stats
+	// QueueDepth is the number of requests waiting at snapshot time.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCapacity is the configured bound.
+	QueueCapacity int `json:"queue_capacity"`
+}
+
+type request struct {
+	events []Event
+	reply  chan result
+}
+
+type result struct {
+	verdicts []Verdict
+	err      error
+}
+
+// Service runs a Detector behind a bounded queue: producers Submit event
+// slices and block while the queue is full (backpressure), a single worker
+// coalesces adjacent requests into full scoring batches (one
+// Detector.Process per batch, so the engine sees large deduplicated
+// requests even when producers send line by line), and Close drains every
+// accepted request before returning.
+//
+// One worker is deliberate: per-user event order must survive queuing, and
+// scoring parallelism already lives inside the engine-backed scorer.
+type Service struct {
+	det   *Detector
+	cfg   ServiceConfig
+	queue chan request
+	done  chan struct{}
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewService starts the worker over det.
+func NewService(det *Detector, cfg ServiceConfig) *Service {
+	s := &Service{
+		det:  det,
+		cfg:  cfg.withDefaults(),
+		done: make(chan struct{}),
+	}
+	s.queue = make(chan request, s.cfg.QueueRequests)
+	go s.worker()
+	return s
+}
+
+// Submit enqueues events and waits for their verdicts, one per event in
+// order. It blocks while the queue is full; after Close it returns
+// ErrClosed.
+func (s *Service) Submit(events []Event) ([]Verdict, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	req := request{events: events, reply: make(chan result, 1)}
+	// The read lock spans the send: Close flips closed under the write
+	// lock, so no Submit can be sending when the channel closes.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.queue <- req
+	s.mu.RUnlock()
+	res := <-req.reply
+	return res.verdicts, res.err
+}
+
+// Close stops intake, drains every queued request through the detector,
+// and waits for the worker to exit. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	<-s.done
+}
+
+// Stats snapshots detector counters plus queue state.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Stats:         s.det.Stats(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueRequests,
+	}
+}
+
+// Detector exposes the wrapped detector (e.g. for EvictIdle sweeps).
+func (s *Service) Detector() *Detector { return s.det }
+
+// worker drains the queue until it is closed and empty, coalescing
+// requests up to BatchEvents per scoring call.
+func (s *Service) worker() {
+	defer close(s.done)
+	for req := range s.queue {
+		batch := []request{req}
+		total := len(req.events)
+	coalesce:
+		for total < s.cfg.BatchEvents {
+			select {
+			case more, ok := <-s.queue:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, more)
+				total += len(more.events)
+			default:
+				break coalesce
+			}
+		}
+		events := make([]Event, 0, total)
+		for _, r := range batch {
+			events = append(events, r.events...)
+		}
+		verdicts, err := s.det.Process(events)
+		at := 0
+		for _, r := range batch {
+			if err != nil {
+				r.reply <- result{err: fmt.Errorf("stream: batch of %d events: %w", total, err)}
+				continue
+			}
+			r.reply <- result{verdicts: verdicts[at : at+len(r.events)]}
+			at += len(r.events)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+// Package stream is the online serving layer of the IDS: it ingests
+// timestamped (user, line) events, maintains sliding per-user session
+// windows, scores incrementally through a Scorer (in deployment an
+// LRU-cached inference engine), and aggregates line scores into
+// session-level verdicts.
+//
+// The paper's setting is ~30M command lines per day streaming in from
+// ~100k machines; the detection methods of §IV score static batches. This
+// package closes that gap with two pieces:
+//
+//   - Detector: the synchronous core. Process consumes an ordered slice of
+//     events, updates session state, and returns one Verdict per event.
+//     Scoring inside a batch is deduplicated and issued as a single Score
+//     call, so the engine's batching and cache do the heavy lifting.
+//   - Service (service.go): the asynchronous front. A bounded queue with
+//     blocking backpressure, a coalescing worker that merges small requests
+//     into full scoring batches, and a graceful drain on Close.
+//
+// Session semantics: a session is a per-user run of events whose
+// event-time gaps stay within IdleTimeout; a larger gap closes the session
+// and starts a fresh one. Within a session, only the most recent
+// MaxSessionLines events are retained (sliding window). When ContextWindow
+// is greater than one, each event is scored as the join of its most recent
+// in-gap session lines — the §IV-C multi-line input built online — so
+// attack chains whose individual lines look benign still produce a high
+// context score, and the session aggregate (max / mean / exponential
+// decay) trips the session alarm.
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"clmids/internal/tuning"
+)
+
+// Event is one logged command line entering the detector.
+type Event struct {
+	// User is the account (or machine) that issued the line; sessions are
+	// keyed by it.
+	User string `json:"user"`
+	// Time is the execution time in Unix seconds. Sessionization uses
+	// event time, not wall-clock arrival, so replayed logs behave exactly
+	// like live traffic.
+	Time int64 `json:"time"`
+	// Line is the raw command line.
+	Line string `json:"line"`
+}
+
+// Aggregation selects how per-line scores combine into a session score.
+type Aggregation int
+
+// Session aggregation modes.
+const (
+	// AggMax scores a session by its most suspicious line.
+	AggMax Aggregation = iota
+	// AggMean scores a session by the mean over its window.
+	AggMean
+	// AggDecay scores a session by an exponentially decayed weighted mean:
+	// the newest line has weight 1, each step back multiplies by Decay.
+	// Low Decay approaches AggMax on the newest line; Decay 1 is AggMean.
+	AggDecay
+)
+
+// String renders the aggregation mode (the clmserve/-follow flag values).
+func (a Aggregation) String() string {
+	switch a {
+	case AggMax:
+		return "max"
+	case AggMean:
+		return "mean"
+	case AggDecay:
+		return "decay"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// ParseAggregation converts a flag value into an Aggregation.
+func ParseAggregation(s string) (Aggregation, error) {
+	switch s {
+	case "max":
+		return AggMax, nil
+	case "mean":
+		return AggMean, nil
+	case "decay":
+		return AggDecay, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown aggregation %q (want max | mean | decay)", s)
+	}
+}
+
+// Config controls sessionization, context building, aggregation, and
+// alert thresholds. The zero value is completed by defaults (see
+// DefaultConfig); thresholds of 0 disable the corresponding alert.
+type Config struct {
+	// ContextWindow is the number of session lines (including the current
+	// one) joined into each scoring input, the §IV-C multi-line input
+	// built online. 1 scores every line alone. Default 1.
+	ContextWindow int
+	// ContextGap is the largest event-time gap in seconds between
+	// consecutive context lines; older lines are not attached (the paper:
+	// lines "whose execution time is too long ago"). Default 600.
+	ContextGap int64
+	// IdleTimeout is the event-time gap in seconds that closes a session.
+	// Default 1800.
+	IdleTimeout int64
+	// MaxSessionLines bounds the per-session sliding window. Default 64.
+	MaxSessionLines int
+	// Aggregation combines window line scores into the session score.
+	Aggregation Aggregation
+	// Decay is the per-step weight multiplier for AggDecay, in (0, 1].
+	// Default 0.7.
+	Decay float64
+	// LineThreshold fires a LineAlert when a raw line's own score reaches
+	// it — what a per-line detector would flag. 0 disables.
+	LineThreshold float64
+	// SessionThreshold fires a SessionAlert when the session score reaches
+	// it. 0 disables.
+	SessionThreshold float64
+}
+
+// DefaultConfig returns the deployment defaults: single-line scoring,
+// 10-minute context gap, 30-minute sessions, 64-line windows, decayed
+// aggregation. Thresholds stay 0 (disabled) because score scales are
+// method-specific; services must set them explicitly.
+func DefaultConfig() Config {
+	return Config{
+		ContextWindow:   1,
+		ContextGap:      600,
+		IdleTimeout:     1800,
+		MaxSessionLines: 64,
+		Aggregation:     AggDecay,
+		Decay:           0.7,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.ContextWindow <= 0 {
+		c.ContextWindow = 1
+	}
+	if c.ContextGap <= 0 {
+		c.ContextGap = 600
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 1800
+	}
+	if c.MaxSessionLines <= 0 {
+		c.MaxSessionLines = 64
+	}
+	if c.Decay <= 0 || c.Decay > 1 {
+		c.Decay = 0.7
+	}
+	return c
+}
+
+// Verdict is the detector's output for one event.
+type Verdict struct {
+	User string `json:"user"`
+	Time int64  `json:"time"`
+	Line string `json:"line"`
+	// Context is the joined multi-line scoring input when ContextWindow >
+	// 1 and context lines were attached; empty otherwise.
+	Context string `json:"context,omitempty"`
+	// LineScore is the score of the raw line alone — what a per-line
+	// detector would see.
+	LineScore float64 `json:"line_score"`
+	// ContextScore is the score of the context-joined input (equal to
+	// LineScore when no context was attached); it is what enters the
+	// session aggregate.
+	ContextScore float64 `json:"context_score"`
+	// SessionScore is the aggregate over the session window as of this
+	// event.
+	SessionScore float64 `json:"session_score"`
+	// SessionLines is the number of lines in the window as of this event.
+	SessionLines int `json:"session_lines"`
+	// LineAlert and SessionAlert report threshold crossings.
+	LineAlert    bool `json:"line_alert"`
+	SessionAlert bool `json:"session_alert"`
+}
+
+// Stats is a snapshot of detector counters.
+type Stats struct {
+	// Events is the number of events processed.
+	Events int64 `json:"events"`
+	// ScoredInputs is the number of unique strings handed to the scorer
+	// (after within-batch dedup; the engine dedups and caches further).
+	ScoredInputs int64 `json:"scored_inputs"`
+	// LineAlerts and SessionAlerts count threshold crossings.
+	LineAlerts    int64 `json:"line_alerts"`
+	SessionAlerts int64 `json:"session_alerts"`
+	// SessionsStarted counts sessions opened (first event or idle
+	// restart); SessionsIdleClosed counts sessions closed by an in-stream
+	// idle gap; SessionsEvicted counts sessions removed by EvictIdle.
+	SessionsStarted    int64 `json:"sessions_started"`
+	SessionsIdleClosed int64 `json:"sessions_idle_closed"`
+	SessionsEvicted    int64 `json:"sessions_evicted"`
+	// ActiveSessions is the live session count at snapshot time.
+	ActiveSessions int `json:"active_sessions"`
+}
+
+// entry is one retained window line.
+type entry struct {
+	time  int64
+	line  string
+	score float64 // context score; filled in after batch scoring
+}
+
+// session is the per-user sliding window.
+type session struct {
+	last    int64
+	entries []entry
+}
+
+// Detector is the synchronous streaming core. Methods are safe for
+// concurrent use; Process calls serialize on a pipeline mutex (scoring
+// parallelism lives inside the engine-backed scorer, not across batches),
+// which also keeps per-user event order deterministic. Session and
+// counter state sits behind a separate short-lived mutex so Stats and
+// EvictIdle never block behind an in-flight scoring call.
+type Detector struct {
+	scorer tuning.Scorer
+	cfg    Config
+
+	procMu sync.Mutex // serializes Process end to end
+
+	mu        sync.Mutex // guards sessions + stats, never held while scoring
+	sessions  map[string]*session
+	stats     Stats
+	highWater int64 // latest event time seen, for event-time EvictIdle sweeps
+}
+
+// NewDetector wraps a scorer with session-aware streaming state. For
+// deployment the scorer should hold a persistent cached inference engine
+// (core.BuildScorer constructs those).
+func NewDetector(scorer tuning.Scorer, cfg Config) *Detector {
+	return &Detector{
+		scorer:   scorer,
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*session),
+	}
+}
+
+// pending records one event's window snapshot between the state pass and
+// the verdict pass.
+type pending struct {
+	sess *session
+	idx  int // entry index at snapshot time
+	lo   int // window start at snapshot time
+	raw  int // scoring-input index of the raw line
+	ctx  int // scoring-input index of the context join
+	ctxS string
+}
+
+// sessUndo snapshots one user's pre-batch session state so a scoring
+// failure can roll the batch's mutations back instead of leaving
+// zero-scored entries in the windows.
+type sessUndo struct {
+	user string
+	prev *session // map value before the batch (nil = absent)
+	len  int      // prev's entry count before the batch
+	last int64    // prev's last-event time before the batch
+}
+
+// Process consumes events in order and returns one verdict per event.
+// Events must be time-ordered per user (the natural log order); distinct
+// users interleave freely. On scorer error the batch's session mutations
+// are rolled back (events still count in Stats) and the error is
+// returned, so a transient failure neither dilutes session aggregates
+// with zero scores nor grows windows past their cap.
+func (d *Detector) Process(events []Event) ([]Verdict, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	d.procMu.Lock()
+	defer d.procMu.Unlock()
+
+	// Pass 1 (under the state lock): sessionize, build scoring inputs
+	// (deduplicated), snapshot per-user undo state.
+	d.mu.Lock()
+	var started, idleClosed int64 // this batch's share, for error rollback
+	hwBefore := d.highWater       // only Process (procMu-serialized) writes it
+	inputs := make([]string, 0, len(events))
+	inputAt := make(map[string]int, len(events))
+	intern := func(s string) int {
+		if at, ok := inputAt[s]; ok {
+			return at
+		}
+		inputAt[s] = len(inputs)
+		inputs = append(inputs, s)
+		return len(inputs) - 1
+	}
+	var undos []sessUndo
+	seen := make(map[string]bool)
+	pend := make([]pending, len(events))
+	for i, ev := range events {
+		sess := d.sessions[ev.User]
+		if !seen[ev.User] {
+			seen[ev.User] = true
+			u := sessUndo{user: ev.User, prev: sess}
+			if sess != nil {
+				u.len, u.last = len(sess.entries), sess.last
+			}
+			undos = append(undos, u)
+		}
+		if sess == nil {
+			sess = &session{}
+			d.sessions[ev.User] = sess
+			started++
+		} else if len(sess.entries) > 0 && ev.Time-sess.last > d.cfg.IdleTimeout {
+			// Idle gap: close the session, open a fresh one. The old
+			// object stays reachable from earlier pendings in this batch.
+			sess = &session{}
+			d.sessions[ev.User] = sess
+			idleClosed++
+			started++
+		}
+		sess.last = ev.Time
+		sess.entries = append(sess.entries, entry{time: ev.Time, line: ev.Line})
+		idx := len(sess.entries) - 1
+		lo := idx + 1 - d.cfg.MaxSessionLines
+		if lo < 0 {
+			lo = 0
+		}
+		ctxS := d.contextJoin(sess, idx)
+		pend[i] = pending{
+			sess: sess, idx: idx, lo: lo,
+			raw: intern(ev.Line), ctx: intern(ctxS), ctxS: ctxS,
+		}
+		if ev.Time > d.highWater {
+			d.highWater = ev.Time
+		}
+	}
+
+	d.stats.SessionsStarted += started
+	d.stats.SessionsIdleClosed += idleClosed
+	d.stats.ScoredInputs += int64(len(inputs))
+	d.stats.Events += int64(len(events))
+	d.mu.Unlock()
+
+	// Pass 2 (no state lock, so Stats/EvictIdle stay responsive): one
+	// batched scoring call for the whole request.
+	scores, err := d.scorer.Score(inputs)
+	if err == nil && len(scores) != len(inputs) {
+		err = fmt.Errorf("returned %d scores for %d inputs", len(scores), len(inputs))
+	}
+	if err != nil {
+		// Roll the batch's session mutations back; the failed events still
+		// count in Events, everything else reverts by delta (a concurrent
+		// EvictIdle between the passes keeps its own increments).
+		d.mu.Lock()
+		d.highWater = hwBefore
+		d.stats.SessionsStarted -= started
+		d.stats.SessionsIdleClosed -= idleClosed
+		d.stats.ScoredInputs -= int64(len(inputs))
+		for _, u := range undos {
+			if u.prev == nil {
+				delete(d.sessions, u.user)
+				continue
+			}
+			d.sessions[u.user] = u.prev
+			u.prev.entries = u.prev.entries[:u.len]
+			u.prev.last = u.last
+		}
+		d.mu.Unlock()
+		return nil, fmt.Errorf("stream: scoring %d inputs: %w", len(inputs), err)
+	}
+
+	// Pass 3 (state lock again): fill window scores in order, aggregate,
+	// emit verdicts.
+	d.mu.Lock()
+	out := make([]Verdict, len(events))
+	for i, ev := range events {
+		p := pend[i]
+		ctxScore := scores[p.ctx]
+		p.sess.entries[p.idx].score = ctxScore
+		v := Verdict{
+			User: ev.User, Time: ev.Time, Line: ev.Line,
+			LineScore:    scores[p.raw],
+			ContextScore: ctxScore,
+			SessionLines: p.idx - p.lo + 1,
+		}
+		if p.ctx != p.raw {
+			v.Context = p.ctxS
+		}
+		v.SessionScore = d.aggregate(p.sess.entries[p.lo : p.idx+1])
+		if d.cfg.LineThreshold > 0 && v.LineScore >= d.cfg.LineThreshold {
+			v.LineAlert = true
+			d.stats.LineAlerts++
+		}
+		if d.cfg.SessionThreshold > 0 && v.SessionScore >= d.cfg.SessionThreshold {
+			v.SessionAlert = true
+			d.stats.SessionAlerts++
+		}
+		out[i] = v
+	}
+
+	// Trim windows the batch grew past the cap (deferred so within-batch
+	// snapshots kept stable indices). The shift is in place — snapshots
+	// are not read after this point — so a saturated session reuses its
+	// backing array instead of allocating per event.
+	for _, p := range pend {
+		if over := len(p.sess.entries) - d.cfg.MaxSessionLines; over > 0 {
+			n := copy(p.sess.entries, p.sess.entries[over:])
+			p.sess.entries = p.sess.entries[:n]
+		}
+	}
+	d.mu.Unlock()
+	return out, nil
+}
+
+// contextJoin builds the §IV-C multi-line input for the entry at idx: up
+// to ContextWindow-1 preceding window lines whose consecutive gaps stay
+// within ContextGap, joined with the shell separator — the online
+// equivalent of tuning.BuildContexts.
+func (d *Detector) contextJoin(sess *session, idx int) string {
+	if d.cfg.ContextWindow <= 1 {
+		return sess.entries[idx].line
+	}
+	// Context never reaches past the sliding window: lines evicted by the
+	// max-length cap are gone for context purposes too.
+	floor := idx + 1 - d.cfg.MaxSessionLines
+	if floor < 0 {
+		floor = 0
+	}
+	lo := idx
+	last := sess.entries[idx].time
+	for lo > floor && idx-lo < d.cfg.ContextWindow-1 {
+		if last-sess.entries[lo-1].time > d.cfg.ContextGap {
+			break
+		}
+		lo--
+		last = sess.entries[lo].time
+	}
+	if lo == idx {
+		return sess.entries[idx].line
+	}
+	parts := make([]string, 0, idx-lo+1)
+	for k := lo; k <= idx; k++ {
+		parts = append(parts, sess.entries[k].line)
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// aggregate folds window scores into the session score.
+func (d *Detector) aggregate(window []entry) float64 {
+	switch d.cfg.Aggregation {
+	case AggMean:
+		sum := 0.0
+		for _, e := range window {
+			sum += e.score
+		}
+		return sum / float64(len(window))
+	case AggDecay:
+		w, num, den := 1.0, 0.0, 0.0
+		for k := len(window) - 1; k >= 0; k-- {
+			num += w * window[k].score
+			den += w
+			w *= d.cfg.Decay
+		}
+		return num / den
+	default: // AggMax
+		best := window[0].score
+		for _, e := range window[1:] {
+			if e.score > best {
+				best = e.score
+			}
+		}
+		return best
+	}
+}
+
+// EvictIdle removes sessions whose last event is more than IdleTimeout
+// seconds before now, bounding memory across a large user population, and
+// returns how many were evicted. Services call it periodically with the
+// stream's high-water event time.
+func (d *Detector) EvictIdle(now int64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for user, sess := range d.sessions {
+		if now-sess.last > d.cfg.IdleTimeout {
+			delete(d.sessions, user)
+			n++
+		}
+	}
+	d.stats.SessionsEvicted += int64(n)
+	return n
+}
+
+// HighWater returns the latest event time seen, the clock EvictIdle
+// sweeps should use: on live traffic it tracks wall time, on replayed or
+// backfilled streams it keeps historical sessions alive instead of
+// evicting them against the real clock.
+func (d *Detector) HighWater() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.highWater
+}
+
+// Stats returns a counter snapshot.
+func (d *Detector) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.ActiveSessions = len(d.sessions)
+	return s
+}
+
+// Config returns the detector's resolved configuration.
+func (d *Detector) Config() Config { return d.cfg }

@@ -75,9 +75,13 @@ func (c ClassifierConfig) withDefaults(encHidden int) ClassifierConfig {
 // in §V). Features are standardized with training statistics before the
 // head: frozen-backbone [CLS] activations have tiny per-dimension variance,
 // and an unconditioned head trains poorly on them.
+//
+// The backbone is frozen by construction, so the classifier holds a
+// persistent LRU-cached inference engine: repeated lines in a production
+// stream skip the encoder. Score and ScoreFeatures never touch the autograd
+// tape and are safe for concurrent use.
 type Classifier struct {
-	enc      *model.Encoder
-	tok      *bpe.Tokenizer
+	engine   *Engine
 	head     *nn.MLP
 	std      *anomaly.Standardizer
 	meanPool bool
@@ -98,7 +102,8 @@ func TrainClassifier(enc *model.Encoder, tok *bpe.Tokenizer, lines []string, lab
 	c := cfg.withDefaults(enc.Config().Hidden)
 	rng := rand.New(rand.NewSource(c.Seed))
 
-	feats, err := c.features(enc, tok, lines)
+	engine := NewEngine(enc, tok, DefaultEngineConfig())
+	feats, err := c.features(engine, lines)
 	if err != nil {
 		return nil, err
 	}
@@ -161,21 +166,21 @@ func TrainClassifier(enc *model.Encoder, tok *bpe.Tokenizer, lines []string, lab
 			c.Logf("classifier: epoch %d/%d loss %.4f", epoch+1, c.Epochs, sum/float64(batches))
 		}
 	}
-	return &Classifier{enc: enc, tok: tok, head: head, std: std, meanPool: c.MeanPoolFeatures}, nil
+	return &Classifier{engine: engine, head: head, std: std, meanPool: c.MeanPoolFeatures}, nil
 }
 
 // features extracts the head inputs per the configuration.
-func (c ClassifierConfig) features(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tensor.Matrix, error) {
+func (c ClassifierConfig) features(engine *Engine, lines []string) (*tensor.Matrix, error) {
 	if c.MeanPoolFeatures {
-		return EmbedLines(enc, tok, lines)
+		return engine.EmbedLines(lines)
 	}
-	return CLSLines(enc, tok, lines)
+	return engine.CLSLines(lines)
 }
 
 // Score implements Scorer: the softmax probability of the intrusion class.
 func (c *Classifier) Score(lines []string) ([]float64, error) {
 	cfg := ClassifierConfig{MeanPoolFeatures: c.meanPool}
-	feats, err := cfg.features(c.enc, c.tok, lines)
+	feats, err := cfg.features(c.engine, lines)
 	if err != nil {
 		return nil, err
 	}
@@ -190,15 +195,43 @@ func (c *Classifier) ScoreFeatures(feats *tensor.Matrix) []float64 {
 	for i := 0; i < feats.Rows; i++ {
 		copy(z.Row(i), c.std.Apply(feats.Row(i)))
 	}
-	logits := c.head.Forward(tensor.Const(z))
+	logits := headLogits(c.head, z)
 	out := make([]float64, feats.Rows)
 	for i := 0; i < feats.Rows; i++ {
-		row := logits.Val.Row(i)
+		row := logits.Row(i)
 		// Two-class softmax probability of class 1, numerically stable.
 		m := math.Max(row[0], row[1])
 		e0 := math.Exp(row[0] - m)
 		e1 := math.Exp(row[1] - m)
 		out[i] = e1 / (e0 + e1)
+	}
+	return out
+}
+
+// headLogits runs the trained two-layer head forward without building an
+// autograd graph: inference needs no gradients, and keeping the scoring
+// path off the tape makes it allocation-light and safe for concurrent use.
+// The arithmetic is identical to nn.MLP.Forward with the ReLU activation
+// NewMLP installs (same matmul kernel, same bias-add and clamp order).
+func headLogits(head *nn.MLP, x *tensor.Matrix) *tensor.Matrix {
+	h := tensor.MatMul(x, head.L1.W.Val)
+	b1 := head.L1.B.Val.Row(0)
+	for i := 0; i < h.Rows; i++ {
+		row := h.Row(i)
+		for j := range row {
+			row[j] += b1[j]
+			if row[j] < 0 {
+				row[j] = 0
+			}
+		}
+	}
+	out := tensor.MatMul(h, head.L2.W.Val)
+	b2 := head.L2.B.Val.Row(0)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += b2[j]
+		}
 	}
 	return out
 }

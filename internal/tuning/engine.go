@@ -111,11 +111,14 @@ type batchSpec struct {
 }
 
 func (e *Engine) run(lines []string, feat int) (*tensor.Matrix, error) {
-	if len(lines) == 0 {
-		return nil, fmt.Errorf("tuning: no lines to embed")
-	}
 	mcfg := e.enc.Config()
+	// An empty request is a normal streaming event (e.g. flushing an empty
+	// session window), not an error: return a 0-row matrix of the right
+	// width so downstream shape arithmetic stays uniform.
 	out := tensor.NewMatrix(len(lines), mcfg.Hidden)
+	if len(lines) == 0 {
+		return out, nil
+	}
 
 	// Dedup: identical normalized lines embed identically, so compute each
 	// one once and fan the row out afterwards.

@@ -11,8 +11,8 @@ import (
 // and whitespace variants of the same command.
 func engineFixtureLines(f *fixture) []string {
 	lines := append([]string(nil), f.trainX[:40]...)
-	lines = append(lines, f.trainX[0], f.trainX[1])     // exact duplicates
-	lines = append(lines, "  "+f.trainX[2]+"  ")        // whitespace variant
+	lines = append(lines, f.trainX[0], f.trainX[1]) // exact duplicates
+	lines = append(lines, "  "+f.trainX[2]+"  ")    // whitespace variant
 	lines = append(lines, f.testPos[:5]...)
 	lines = append(lines, f.testPos[0])
 	return lines
@@ -109,10 +109,19 @@ func TestEngineCacheEviction(t *testing.T) {
 	}
 }
 
+// TestEngineEmptyInput pins the streaming contract: flushing an empty
+// window is normal, so empty input yields a 0-row matrix, not an error.
 func TestEngineEmptyInput(t *testing.T) {
 	f := getFixture(t)
-	if _, err := NewEngine(f.mdl.Encoder, f.tok, EngineConfig{}).EmbedLines(nil); err == nil {
-		t.Error("empty input accepted")
+	engine := NewEngine(f.mdl.Encoder, f.tok, EngineConfig{})
+	for _, fn := range []func([]string) (*tensor.Matrix, error){engine.EmbedLines, engine.CLSLines} {
+		got, err := fn(nil)
+		if err != nil {
+			t.Fatalf("empty input: %v", err)
+		}
+		if got.Rows != 0 || got.Cols != f.mdl.Encoder.Config().Hidden {
+			t.Fatalf("empty input shape %dx%d, want 0x%d", got.Rows, got.Cols, f.mdl.Encoder.Config().Hidden)
+		}
 	}
 }
 

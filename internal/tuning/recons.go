@@ -76,11 +76,13 @@ func (c ReconsConfig) withDefaults() ReconsConfig {
 }
 
 // ReconsTuner is a trained reconstruction-based detector: the tuned
-// encoder f(·) and the final PCA model W.
+// encoder f(·) and the final PCA model W. Training is the only phase that
+// mutates f; once TrainReconstruction returns, the encoder is frozen, so
+// the tuner scores through a persistent LRU-cached inference engine and
+// Score is safe for concurrent use.
 type ReconsTuner struct {
-	enc *model.Encoder
-	tok *bpe.Tokenizer
-	pca *linalg.PCA
+	engine *Engine
+	pca    *linalg.PCA
 }
 
 var _ Scorer = (*ReconsTuner)(nil)
@@ -184,8 +186,10 @@ func TrainReconstruction(enc *model.Encoder, tok *bpe.Tokenizer, lines []string,
 		}
 	}
 
-	// Final W from the final f.
-	emb, err := EmbedLines(enc, tok, fitLines)
+	// Final W from the final f. Tuning is over, so the tuner can hold a
+	// cached engine over the now-frozen encoder.
+	engine := NewEngine(enc, tok, DefaultEngineConfig())
+	emb, err := engine.EmbedLines(fitLines)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +197,7 @@ func TrainReconstruction(enc *model.Encoder, tok *bpe.Tokenizer, lines []string,
 	if err != nil {
 		return nil, err
 	}
-	return &ReconsTuner{enc: enc, tok: tok, pca: pca}, nil
+	return &ReconsTuner{engine: engine, pca: pca}, nil
 }
 
 // reconsBatchLoss builds Eq. (2) for one batch:
@@ -224,7 +228,7 @@ func reconsBatchLoss(enc *model.Encoder, seqs [][]int, rows []int, y []float64,
 
 // Score implements Scorer: Eq. (1) under the tuned f and final W.
 func (r *ReconsTuner) Score(lines []string) ([]float64, error) {
-	emb, err := EmbedLines(r.enc, r.tok, lines)
+	emb, err := r.engine.EmbedLines(lines)
 	if err != nil {
 		return nil, err
 	}

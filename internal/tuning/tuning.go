@@ -33,7 +33,9 @@ type Scorer interface {
 const embedBatchSize = 32
 
 // EmbedLines runs the (frozen) encoder over lines and returns mean-pooled
-// embeddings, one row per line — the f(t) of Eq. (1). Scoring goes through
+// embeddings, one row per line — the f(t) of Eq. (1); empty input yields a
+// 0-row matrix (a streaming flush of an empty window is normal, not an
+// error). Scoring goes through
 // the tape-free batched inference engine (deduped, length-bucketed,
 // parallel); the engine is transient, so no embedding outlives the call
 // and a subsequently tuned encoder can never serve stale rows. Long-lived
@@ -72,11 +74,12 @@ func CLSLinesTape(enc *model.Encoder, tok *bpe.Tokenizer, lines []string) (*tens
 
 func extract(enc *model.Encoder, tok *bpe.Tokenizer, lines []string,
 	fn func(model.Batch) (*tensor.Tensor, error)) (*tensor.Matrix, error) {
-	if len(lines) == 0 {
-		return nil, fmt.Errorf("tuning: no lines to embed")
-	}
 	cfg := enc.Config()
+	// Empty input mirrors the engine path: a 0-row matrix, not an error.
 	out := tensor.NewMatrix(len(lines), cfg.Hidden)
+	if len(lines) == 0 {
+		return out, nil
+	}
 	for at := 0; at < len(lines); at += embedBatchSize {
 		end := at + embedBatchSize
 		if end > len(lines) {

@@ -375,8 +375,17 @@ func TestEmbedAndCLSShapes(t *testing.T) {
 	if cls.Rows != 2 || cls.Cols != emb.Cols {
 		t.Fatalf("CLSLines %dx%d", cls.Rows, cls.Cols)
 	}
-	if _, err := EmbedLines(f.mdl.Encoder, f.tok, nil); err == nil {
-		t.Error("empty lines accepted")
+	// Empty input is a 0-row matrix, aligned with the engine's streaming
+	// contract (an empty window flush is not an error).
+	empty, err := EmbedLines(f.mdl.Encoder, f.tok, nil)
+	if err != nil {
+		t.Fatalf("empty lines: %v", err)
+	}
+	if empty.Rows != 0 || empty.Cols != emb.Cols {
+		t.Fatalf("empty EmbedLines %dx%d", empty.Rows, empty.Cols)
+	}
+	if empty, err = CLSLines(f.mdl.Encoder, f.tok, nil); err != nil || empty.Rows != 0 {
+		t.Fatalf("empty CLSLines: %v (%d rows)", err, empty.Rows)
 	}
 }
 
