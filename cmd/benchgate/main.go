@@ -1,0 +1,209 @@
+// Command benchgate is the benchmark-regression gate for CI: it turns `go
+// test -bench` output into a JSON throughput report and compares a PR's
+// report against a checked-in baseline, failing when the gated metric
+// regresses beyond the allowed fraction.
+//
+// Parse mode (stdin: raw bench output; stdout: report JSON):
+//
+//	go test -run xxx -bench 'Throughput' -benchtime 3x . | benchgate -parse > BENCH_PR.json
+//
+// Compare mode (exit status 1 on a gated regression):
+//
+//	benchgate -compare -baseline BENCH_BASELINE.json -pr BENCH_PR.json \
+//	          -gate BenchmarkStreamingThroughput -max-regress 0.20
+//
+// Only the -gate benchmark fails the job; every other shared benchmark is
+// reported for trend visibility. The gate is one-sided — faster never
+// fails — because absolute lines/s moves with runner hardware; the
+// baseline should be refreshed (parse mode on a representative runner,
+// commit the JSON) whenever the fleet or the fixture changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's throughput sample.
+type Entry struct {
+	// LinesPerSec is the benchmark's custom lines/s metric.
+	LinesPerSec float64 `json:"lines_per_s"`
+	// Iters is the b.N the sample was measured over.
+	Iters int64 `json:"iters"`
+}
+
+// Report maps benchmark names (GOMAXPROCS suffix stripped, sub-benchmark
+// paths kept) to their throughput entries.
+type Report struct {
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	parse := fs.Bool("parse", false, "parse `go test -bench` output from stdin into report JSON on stdout")
+	compare := fs.Bool("compare", false, "compare -pr against -baseline and gate on -gate")
+	baselinePath := fs.String("baseline", "BENCH_BASELINE.json", "checked-in baseline report")
+	prPath := fs.String("pr", "BENCH_PR.json", "report for the change under test")
+	gate := fs.String("gate", "BenchmarkStreamingThroughput", "benchmark whose regression fails the gate")
+	maxRegress := fs.Float64("max-regress", 0.20, "largest tolerated fractional drop of the gated metric")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	switch {
+	case *parse == *compare:
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -parse or -compare required")
+		os.Exit(2)
+	case *parse:
+		rep, err := parseBench(os.Stdin)
+		if err == nil {
+			err = json.NewEncoder(os.Stdout).Encode(rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+	default:
+		base, err := readReport(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		pr, err := readReport(*prPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		summary, ok := compareReports(base, pr, *gate, *maxRegress)
+		fmt.Print(summary)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+// parseBench extracts the lines/s custom metric from `go test -bench`
+// output. A bench line looks like
+//
+//	BenchmarkStreamingThroughput-4   3   2348540 ns/op   425797 lines/s   ...
+//
+// where the trailing -4 is GOMAXPROCS (stripped; sub-benchmark names like
+// BenchmarkShardedThroughput/shards=4 keep their path). Benchmarks without
+// a lines/s metric are skipped.
+func parseBench(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		lps := -1.0
+		for i := 3; i < len(fields); i += 2 {
+			if fields[i] != "lines/s" {
+				continue
+			}
+			if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+				lps = v
+			}
+			break
+		}
+		if lps < 0 {
+			continue
+		}
+		rep.Benchmarks[stripProcs(fields[0])] = Entry{LinesPerSec: lps, Iters: iters}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("no benchmarks with a lines/s metric on stdin")
+	}
+	return rep, nil
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix from a bench name
+// (the suffix follows the last dash of the final path element and is all
+// digits).
+func stripProcs(name string) string {
+	at := strings.LastIndexByte(name, '-')
+	if at < 0 {
+		return name
+	}
+	suffix := name[at+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:at]
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("%s: empty report", path)
+	}
+	return rep, nil
+}
+
+// compareReports renders a comparison of every benchmark present in both
+// reports and gates on one of them: ok is false when the gated benchmark
+// is missing from either report or its lines/s dropped by more than
+// maxRegress of the baseline.
+func compareReports(base, pr Report, gate string, maxRegress float64) (string, bool) {
+	var b strings.Builder
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if _, ok := pr.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-44s %14s %14s %8s\n", "benchmark", "baseline", "pr", "ratio")
+	for _, name := range names {
+		bl, p := base.Benchmarks[name], pr.Benchmarks[name]
+		mark := ""
+		if name == gate {
+			mark = "  <- gate"
+		}
+		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %8.2f%s\n",
+			name, bl.LinesPerSec, p.LinesPerSec, p.LinesPerSec/bl.LinesPerSec, mark)
+	}
+
+	bl, okBase := base.Benchmarks[gate]
+	p, okPR := pr.Benchmarks[gate]
+	switch {
+	case !okBase || !okPR:
+		fmt.Fprintf(&b, "FAIL: gated benchmark %s missing (baseline %v, pr %v)\n", gate, okBase, okPR)
+		return b.String(), false
+	case p.LinesPerSec < bl.LinesPerSec*(1-maxRegress):
+		fmt.Fprintf(&b, "FAIL: %s regressed %.1f%% (%.0f -> %.0f lines/s, tolerance %.0f%%)\n",
+			gate, 100*(1-p.LinesPerSec/bl.LinesPerSec), bl.LinesPerSec, p.LinesPerSec, 100*maxRegress)
+		return b.String(), false
+	}
+	fmt.Fprintf(&b, "OK: %s within %.0f%% of baseline (%.0f -> %.0f lines/s)\n",
+		gate, 100*maxRegress, bl.LinesPerSec, p.LinesPerSec)
+	return b.String(), true
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: clmids
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInferenceThroughput-4         	       3	   1136000 ns/op	    880000 lines/s	     120 B/op	       2 allocs/op
+BenchmarkInferenceThroughputCold-4     	       3	  46900000 ns/op	     21300 lines/s	 8000000 B/op	   90000 allocs/op
+BenchmarkStreamingThroughput-4         	       3	   4273000 ns/op	    234000 lines/s	 1000000 B/op	    3000 allocs/op
+BenchmarkShardedThroughput/shards=1-4  	       3	   2348540 ns/op	    425797 lines/s	 1026482 B/op	    3182 allocs/op
+BenchmarkShardedThroughput/shards=4-4  	       3	   1148329 ns/op	    870629 lines/s	 1335912 B/op	    3707 allocs/op
+BenchmarkNoMetric-4                    	     100	     10000 ns/op
+PASS
+ok  	clmids	9.063s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkInferenceThroughput":        880000,
+		"BenchmarkInferenceThroughputCold":    21300,
+		"BenchmarkStreamingThroughput":        234000,
+		"BenchmarkShardedThroughput/shards=1": 425797,
+		"BenchmarkShardedThroughput/shards=4": 870629,
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(rep.Benchmarks), len(want), rep.Benchmarks)
+	}
+	for name, lps := range want {
+		e, ok := rep.Benchmarks[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if e.LinesPerSec != lps {
+			t.Fatalf("%s: %g lines/s, want %g", name, e.LinesPerSec, lps)
+		}
+		if e.Iters != 3 {
+			t.Fatalf("%s: iters %d, want 3", name, e.Iters)
+		}
+	}
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty bench output parsed without error")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkStreamingThroughput-4":        "BenchmarkStreamingThroughput",
+		"BenchmarkShardedThroughput/shards=4-8": "BenchmarkShardedThroughput/shards=4",
+		"BenchmarkNoSuffix":                     "BenchmarkNoSuffix",
+		"Benchmark-x-2":                         "Benchmark-x",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Fatalf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func report(vals map[string]float64) Report {
+	rep := Report{Benchmarks: map[string]Entry{}}
+	for name, v := range vals {
+		rep.Benchmarks[name] = Entry{LinesPerSec: v, Iters: 3}
+	}
+	return rep
+}
+
+func TestCompareGate(t *testing.T) {
+	base := report(map[string]float64{
+		"BenchmarkStreamingThroughput": 200000,
+		"BenchmarkInferenceThroughput": 800000,
+	})
+
+	// Within tolerance (19% drop at 20% gate): pass.
+	okPR := report(map[string]float64{
+		"BenchmarkStreamingThroughput": 162000,
+		"BenchmarkInferenceThroughput": 100, // not gated, may crater freely
+	})
+	summary, ok := compareReports(base, okPR, "BenchmarkStreamingThroughput", 0.20)
+	if !ok {
+		t.Fatalf("19%% drop failed a 20%% gate:\n%s", summary)
+	}
+	if !strings.Contains(summary, "OK:") || !strings.Contains(summary, "<- gate") {
+		t.Fatalf("summary lacks verdict/gate marker:\n%s", summary)
+	}
+
+	// Beyond tolerance: fail.
+	badPR := report(map[string]float64{"BenchmarkStreamingThroughput": 150000})
+	summary, ok = compareReports(base, badPR, "BenchmarkStreamingThroughput", 0.20)
+	if ok {
+		t.Fatalf("25%% drop passed a 20%% gate:\n%s", summary)
+	}
+	if !strings.Contains(summary, "FAIL:") {
+		t.Fatalf("failing summary lacks FAIL:\n%s", summary)
+	}
+
+	// Faster never fails.
+	fastPR := report(map[string]float64{"BenchmarkStreamingThroughput": 900000})
+	if _, ok := compareReports(base, fastPR, "BenchmarkStreamingThroughput", 0.20); !ok {
+		t.Fatal("speedup failed the gate")
+	}
+
+	// A missing gated benchmark fails loudly.
+	if _, ok := compareReports(base, report(map[string]float64{"Other": 1}), "BenchmarkStreamingThroughput", 0.20); ok {
+		t.Fatal("missing gated benchmark passed")
+	}
+}

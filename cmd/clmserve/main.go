@@ -15,12 +15,19 @@
 //	              (corpus JSONL records work verbatim; extra fields are
 //	              ignored, a missing time defaults to arrival time).
 //	              response: NDJSON verdicts, one per event, in order.
-//	GET  /stats   JSON snapshot of detector + queue counters.
+//	GET  /stats   JSON snapshot of detector + queue counters, aggregated
+//	              and per shard (queue depth, LRU hit rate — load skew
+//	              from hot users hashing to one shard is visible here).
 //
-// Ingest flows through a bounded queue: when the scoring worker falls
-// behind, /score blocks (HTTP-level backpressure) instead of buffering
-// unboundedly. On SIGINT/SIGTERM the daemon stops accepting requests,
-// drains every queued event through the detector, and exits.
+// The detector is sharded across -shards (default GOMAXPROCS) partitions
+// keyed by hash(user): each shard owns its sessions, its bounded queue,
+// its coalescing worker, and a scorer replica sharing the frozen backbone
+// weights, so shards score concurrently while per-user event order — and
+// every verdict — stays identical to the unsharded detector. When a
+// shard's worker falls behind, /score blocks (HTTP-level backpressure)
+// instead of buffering unboundedly. On SIGINT/SIGTERM the daemon stops
+// accepting requests, drains every queued event on every shard through
+// the detector, and exits.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -63,10 +71,14 @@ func run(args []string) error {
 	sessThr := fs.Float64("session-threshold", 0, "session alert threshold (0 disables)")
 	idle := fs.Int64("idle-timeout", 1800, "session idle timeout in seconds")
 	maxLines := fs.Int("max-session-lines", 64, "sliding window length per session")
-	queue := fs.Int("queue", 64, "bounded ingest queue (requests); full queue blocks /score")
-	batch := fs.Int("batch", 512, "events coalesced per scoring batch")
+	queue := fs.Int("queue", 64, "bounded ingest queue per shard (requests); full queue blocks /score")
+	batch := fs.Int("batch", 512, "events coalesced per scoring batch per shard")
+	shards := fs.Int("shards", 0, "detector shards keyed by hash(user) (0 = GOMAXPROCS); each shard scores concurrently on its own scorer replica")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
 	}
 
 	agg, err := stream.ParseAggregation(*aggregation)
@@ -108,7 +120,17 @@ func run(args []string) error {
 	scfg.SessionThreshold = *sessThr
 	scfg.IdleTimeout = *idle
 	scfg.MaxSessionLines = *maxLines
-	svc := stream.NewService(stream.NewDetector(scorer, scfg),
+	// One scorer replica per shard: the frozen backbone and fitted
+	// artifacts are shared, only engine scratch + LRU cache replicate.
+	replicas, err := core.ReplicateScorer(scorer, *shards)
+	if err != nil {
+		return err
+	}
+	sharded, err := stream.NewShardedDetector(replicas, scfg)
+	if err != nil {
+		return err
+	}
+	svc := stream.NewShardedService(sharded,
 		stream.ServiceConfig{QueueRequests: *queue, BatchEvents: *batch})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -126,21 +148,21 @@ func run(args []string) error {
 	defer sweep.Stop()
 	go func() {
 		for range sweep.C {
-			det := svc.Detector()
 			// Wall clock caps the sweep horizon: one far-future timestamp
 			// (e.g. milliseconds sent as seconds) must not poison the
-			// high-water mark into evicting every live session.
-			hw := det.HighWater()
+			// high-water mark into evicting every live session. The sweep
+			// fans out across every shard.
+			hw := svc.HighWater()
 			if now := time.Now().Unix(); hw > now {
 				hw = now
 			}
-			det.EvictIdle(hw)
+			svc.EvictIdle(hw)
 		}
 	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving on %s\n", *method, ln.Addr())
+	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving on %s (%d shards)\n", *method, ln.Addr(), *shards)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

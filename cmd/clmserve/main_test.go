@@ -54,9 +54,20 @@ func getFixture(t *testing.T) *serveFixture {
 		}
 		cfg := stream.DefaultConfig()
 		cfg.ContextWindow = 3
-		det := stream.NewDetector(scorer, cfg)
+		// Two shards over scorer replicas: the HTTP tests exercise the
+		// sharded routing/scatter path end to end.
+		replicas, err := core.ReplicateScorer(scorer, 2)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		det, err := stream.NewShardedDetector(replicas, cfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
 		fix = &serveFixture{
-			svc:  stream.NewService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64}),
+			svc:  stream.NewShardedService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64}),
 			test: test,
 		}
 	})
@@ -144,8 +155,21 @@ func TestStatsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.QueueCapacity != 8 {
-		t.Fatalf("queue capacity %d, want 8", st.QueueCapacity)
+	// Two shards of 8: the aggregate is the sum, the breakdown is per shard
+	// with LRU cache counters (the PCA scorer runs on a cached engine).
+	if st.QueueCapacity != 16 {
+		t.Fatalf("queue capacity %d, want 16", st.QueueCapacity)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("%d shard entries, want 2", len(st.Shards))
+	}
+	for _, ss := range st.Shards {
+		if ss.QueueCapacity != 8 {
+			t.Fatalf("shard %d queue capacity %d, want 8", ss.Shard, ss.QueueCapacity)
+		}
+		if ss.Cache == nil {
+			t.Fatalf("shard %d reports no cache stats", ss.Shard)
+		}
 	}
 }
 

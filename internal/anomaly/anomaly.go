@@ -34,7 +34,9 @@ func Scores(d Detector, x *tensor.Matrix) []float64 {
 	return out
 }
 
-// PCADetector scores by PCA reconstruction error (Eq. 1).
+// PCADetector scores by PCA reconstruction error (Eq. 1). Scoring after
+// Fit is read-only, so one fitted detector is safely shared across
+// concurrent scorer replicas (tuning.PCAScorer.Replicate does).
 type PCADetector struct {
 	// Opts selects the retained components; the zero value keeps 95%.
 	Opts linalg.PCAOptions
@@ -67,7 +69,9 @@ func (d *PCADetector) Score(row []float64) float64 {
 func (d *PCADetector) PCA() *linalg.PCA { return d.pca }
 
 // Standardizer z-scores embeddings per dimension; the SVM-style detectors
-// are scale-sensitive and fit it internally.
+// are scale-sensitive and fit it internally. Apply allocates its output
+// and never mutates the fitted statistics, so one fitted Standardizer is
+// safely shared across concurrent scorer replicas.
 type Standardizer struct {
 	Mean, Std []float64
 }

@@ -13,6 +13,10 @@ import (
 // were all mislabeled benign scores 0), so the modified method scores each
 // test line by its average cosine similarity to its k nearest *malicious*
 // training neighbours only. The paper uses k = 1 (1NN).
+//
+// After FitLabeled the index is read-only: Score and ScoreBatch never
+// mutate it, so one fitted Retrieval is safely shared by every scorer
+// replica of a sharded streaming detector (tuning.Replicable).
 type Retrieval struct {
 	// K is the number of malicious neighbours averaged; default 1 (paper).
 	K int

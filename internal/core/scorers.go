@@ -24,6 +24,17 @@ func ScorerMethods() []string {
 	return []string{"classifier", "retrieval", "reconstruction", "pca"}
 }
 
+// ReplicateScorer turns one built scorer into n scorers that score
+// byte-identically: the original first, then n-1 replicas sharing every
+// frozen artifact (backbone weights, trained head, fitted PCA or retrieval
+// index) while owning their own inference engine (scratch pool + LRU
+// cache). This is the construction the sharded streaming detector uses —
+// one replica per shard, no re-tuning, no cross-shard lock contention.
+// Every method BuildScorer returns is replicable.
+func ReplicateScorer(s tuning.Scorer, n int) ([]tuning.Scorer, error) {
+	return tuning.Replicas(s, n)
+}
+
 // BuildScorer constructs the requested §III/§IV method over the pipeline's
 // backbone. Every returned scorer holds a persistent LRU-cached inference
 // engine (the backbone is frozen after construction), so a long-running

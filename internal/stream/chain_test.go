@@ -225,6 +225,84 @@ func TestSessionCatchesChainPerLineMisses(t *testing.T) {
 	}
 }
 
+// TestSessionCatchesChainUnderSharding: the chain-catch property must
+// survive sharding at the same threshold. The detector is sharded four
+// ways over replicas of the trained classifier (shared frozen backbone and
+// head, per-shard engines); the chain's user hashes to one shard, so its
+// verdicts — and the alert decision — are byte-identical to the unsharded
+// detector's.
+func TestSessionCatchesChainUnderSharding(t *testing.T) {
+	f := getChainFixture(t)
+	chain := findChain(t, f.test)
+	lines := make([]string, len(chain))
+	for i, e := range chain {
+		lines[i] = e.Line
+	}
+	perLine, err := f.scorer.Score(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.ContextWindow = 3
+	cfg.Aggregation = AggMax
+	det := NewDetector(f.scorer, cfg)
+	want, err := det.Process(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPerLine, maxSession := perLine[0], 0.0
+	for _, v := range perLine {
+		if v > maxPerLine {
+			maxPerLine = v
+		}
+	}
+	for _, v := range want {
+		if v.SessionScore > maxSession {
+			maxSession = v.SessionScore
+		}
+	}
+	thr := (maxPerLine + maxSession) / 2
+
+	cfg.LineThreshold = thr
+	cfg.SessionThreshold = thr
+	scorers, err := tuning.Replicas(f.scorer, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedDetector(scorers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsharded := NewDetector(f.scorer, cfg)
+	wantAlert, err := unsharded.Process(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Process(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessionAlerted := false
+	for i, v := range got {
+		if v != wantAlert[i] {
+			t.Fatalf("event %d: sharded verdict %+v, unsharded %+v", i, v, wantAlert[i])
+		}
+		if v.LineAlert {
+			t.Fatalf("line alert fired under sharding on %q (score %.4f, threshold %.4f)", v.Line, v.LineScore, thr)
+		}
+		if v.SessionAlert {
+			sessionAlerted = true
+		}
+	}
+	if !sessionAlerted {
+		t.Fatal("session alarm did not fire on the attack chain under sharding")
+	}
+	if st := sharded.Stats(); st.SessionAlerts == 0 || st.LineAlerts != 0 {
+		t.Fatalf("sharded stats: %+v", st)
+	}
+}
+
 // TestBenignSessionStaysQuiet: the same detector over benign test traffic
 // must not alert at the chain test's operating point on most sessions —
 // a soft false-positive check (routine benign lines only, excluding the

@@ -4,19 +4,22 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"clmids/internal/tuning"
 )
 
 // ErrClosed is returned by Submit after Close has begun.
 var ErrClosed = errors.New("stream: service closed")
 
 // ServiceConfig sizes the asynchronous front. The zero value selects
-// defaults.
+// defaults. Queue and batch bounds are per shard: a hot shard saturating
+// its queue back-pressures only producers sending to it.
 type ServiceConfig struct {
-	// QueueRequests bounds the request queue; a full queue blocks Submit
-	// (backpressure to the producer). Default 64.
+	// QueueRequests bounds each shard's request queue; a full queue blocks
+	// Submit (backpressure to the producer). Default 64.
 	QueueRequests int
-	// BatchEvents caps how many events the worker coalesces from queued
-	// requests into one Detector.Process call. Default 512.
+	// BatchEvents caps how many events a shard worker coalesces from its
+	// queued requests into one Detector.Process call. Default 512.
 	BatchEvents int
 }
 
@@ -30,13 +33,33 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	return c
 }
 
-// ServiceStats extends detector counters with queue state.
+// ShardServiceStats is one shard's slice of a stats snapshot: its detector
+// counters, its queue state, and — when the shard's scorer runs on an
+// LRU-cached engine — its cache counters. Per-shard queue depth exposes
+// load skew (hot users hashing to one shard); the hit rate exposes cache
+// effectiveness per replica.
+type ShardServiceStats struct {
+	Shard int `json:"shard"`
+	Stats
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Cache is nil when the shard's scorer exposes no cache stats.
+	Cache *tuning.CacheStats `json:"cache,omitempty"`
+	// CacheHitRate is Cache's hit rate, 0 without cache stats.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// ServiceStats aggregates detector counters and queue state across shards;
+// Shards carries the per-shard breakdown (len 1 for an unsharded service).
 type ServiceStats struct {
 	Stats
-	// QueueDepth is the number of requests waiting at snapshot time.
+	// QueueDepth is the number of requests waiting across all shard queues
+	// at snapshot time.
 	QueueDepth int `json:"queue_depth"`
-	// QueueCapacity is the configured bound.
+	// QueueCapacity is the configured bound summed across shards.
 	QueueCapacity int `json:"queue_capacity"`
+	// Shards is the per-shard breakdown.
+	Shards []ShardServiceStats `json:"shards"`
 }
 
 type request struct {
@@ -49,94 +72,200 @@ type result struct {
 	err      error
 }
 
-// Service runs a Detector behind a bounded queue: producers Submit event
-// slices and block while the queue is full (backpressure), a single worker
-// coalesces adjacent requests into full scoring batches (one
-// Detector.Process per batch, so the engine sees large deduplicated
-// requests even when producers send line by line), and Close drains every
-// accepted request before returning.
-//
-// One worker is deliberate: per-user event order must survive queuing, and
-// scoring parallelism already lives inside the engine-backed scorer.
-type Service struct {
+// svcShard is one shard's asynchronous lane: a bounded queue drained by
+// one coalescing worker over the shard's detector.
+type svcShard struct {
 	det   *Detector
-	cfg   ServiceConfig
 	queue chan request
 	done  chan struct{}
+}
+
+// Service runs a ShardedDetector behind bounded per-shard queues:
+// producers Submit event slices, the service routes each event to its
+// user's shard (hash(user) % N, the same key the detector uses), and each
+// shard's single worker coalesces adjacent requests into full scoring
+// batches — one Detector.Process per batch, so the engine sees large
+// deduplicated requests even when producers send line by line. Submit
+// blocks while a target shard's queue is full (backpressure), and Close
+// drains every accepted request on every shard before returning.
+//
+// One worker per shard is deliberate: per-user event order must survive
+// queuing, and hash routing guarantees a user's events always meet the
+// same worker. Cross-shard scoring runs concurrently — that is the whole
+// point — while scoring parallelism within a shard still lives inside the
+// engine-backed scorer.
+type Service struct {
+	sd     *ShardedDetector
+	cfg    ServiceConfig
+	shards []*svcShard
 
 	mu     sync.RWMutex
 	closed bool
 }
 
-// NewService starts the worker over det.
+// NewService starts a single-shard service over det — the unsharded
+// configuration, kept for callers that bring their own Detector.
 func NewService(det *Detector, cfg ServiceConfig) *Service {
-	s := &Service{
-		det:  det,
-		cfg:  cfg.withDefaults(),
-		done: make(chan struct{}),
+	return NewShardedService(newShardedFromDetectors([]*Detector{det}), cfg)
+}
+
+// NewShardedService starts one queue + coalescing worker per shard of sd.
+func NewShardedService(sd *ShardedDetector, cfg ServiceConfig) *Service {
+	s := &Service{sd: sd, cfg: cfg.withDefaults()}
+	s.shards = make([]*svcShard, sd.Shards())
+	for i := range s.shards {
+		sh := &svcShard{
+			det:   sd.Shard(i),
+			queue: make(chan request, s.cfg.QueueRequests),
+			done:  make(chan struct{}),
+		}
+		s.shards[i] = sh
+		go s.worker(sh)
 	}
-	s.queue = make(chan request, s.cfg.QueueRequests)
-	go s.worker()
 	return s
 }
 
-// Submit enqueues events and waits for their verdicts, one per event in
-// order. It blocks while the queue is full; after Close it returns
-// ErrClosed.
+// Submit routes events to their shards, enqueues one request per involved
+// shard, and waits for all verdicts, returned one per event in input
+// order. It blocks while a target shard's queue is full; after Close it
+// returns ErrClosed. Concurrent Submits of the same user are serialized by
+// that user's single shard queue, so per-user order within one Submit is
+// always preserved.
+//
+// Error semantics: each shard's coalesced scoring batch is atomic (it
+// rolls back on failure, Detector.Process semantics), but shards coalesce
+// independently, so when a multi-shard Submit returns an error the events
+// on shards whose batches succeeded have been ingested. Synchronous
+// callers needing all-or-nothing across shards should use
+// ShardedDetector.Process, which two-phase commits.
 func (s *Service) Submit(events []Event) ([]Verdict, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
-	req := request{events: events, reply: make(chan result, 1)}
-	// The read lock spans the send: Close flips closed under the write
-	// lock, so no Submit can be sending when the channel closes.
+	n := len(s.shards)
+
+	// The read lock spans the sends: Close flips closed under the write
+	// lock, so no Submit can be sending when the channels close.
+	if n == 1 {
+		req := request{events: events, reply: make(chan result, 1)}
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return nil, ErrClosed
+		}
+		s.shards[0].queue <- req
+		s.mu.RUnlock()
+		res := <-req.reply
+		return res.verdicts, res.err
+	}
+
+	parts, pos := partitionEvents(events, n)
+	type pendingReq struct {
+		shard int
+		reply chan result
+	}
+	pending := make([]pendingReq, 0, n)
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
-	s.queue <- req
+	for sh := 0; sh < n; sh++ {
+		if len(parts[sh]) == 0 {
+			continue
+		}
+		req := request{events: parts[sh], reply: make(chan result, 1)}
+		s.shards[sh].queue <- req
+		pending = append(pending, pendingReq{shard: sh, reply: req.reply})
+	}
 	s.mu.RUnlock()
-	res := <-req.reply
-	return res.verdicts, res.err
+
+	out := make([]Verdict, len(events))
+	var errs []error
+	for _, p := range pending {
+		res := <-p.reply
+		if res.err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", p.shard, res.err))
+			continue
+		}
+		scatter(out, pos[p.shard], res.verdicts)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return out, nil
 }
 
-// Close stops intake, drains every queued request through the detector,
-// and waits for the worker to exit. Safe to call more than once.
+// Close stops intake, drains every queued request on every shard through
+// its detector, and waits for all shard workers to exit. Safe to call more
+// than once.
 func (s *Service) Close() {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
 	if !already {
-		close(s.queue)
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
 	}
-	<-s.done
+	for _, sh := range s.shards {
+		<-sh.done
+	}
 }
 
-// Stats snapshots detector counters plus queue state.
+// Stats snapshots detector counters plus queue state, aggregated across
+// shards, with the per-shard breakdown attached.
 func (s *Service) Stats() ServiceStats {
-	return ServiceStats{
-		Stats:         s.det.Stats(),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.cfg.QueueRequests,
+	st := ServiceStats{
+		Stats:  s.sd.Stats(),
+		Shards: make([]ShardServiceStats, len(s.shards)),
 	}
+	for i, sh := range s.shards {
+		ss := ShardServiceStats{
+			Shard:         i,
+			Stats:         sh.det.Stats(),
+			QueueDepth:    len(sh.queue),
+			QueueCapacity: s.cfg.QueueRequests,
+		}
+		if cs, ok := sh.det.scorer.(tuning.CacheStatser); ok {
+			c := cs.CacheStats()
+			ss.Cache = &c
+			ss.CacheHitRate = c.HitRate()
+		}
+		st.QueueDepth += ss.QueueDepth
+		st.QueueCapacity += ss.QueueCapacity
+		st.Shards[i] = ss
+	}
+	return st
 }
 
-// Detector exposes the wrapped detector (e.g. for EvictIdle sweeps).
-func (s *Service) Detector() *Detector { return s.det }
+// Sharded exposes the wrapped sharded detector.
+func (s *Service) Sharded() *ShardedDetector { return s.sd }
 
-// worker drains the queue until it is closed and empty, coalescing
+// Detector exposes shard 0's detector — the whole detector for a
+// single-shard service. Sweeps and stats should prefer EvictIdle,
+// HighWater, and Stats, which fan out across every shard.
+func (s *Service) Detector() *Detector { return s.sd.Shard(0) }
+
+// EvictIdle fans the idle-session sweep out across every shard and
+// returns the total evicted.
+func (s *Service) EvictIdle(now int64) int { return s.sd.EvictIdle(now) }
+
+// HighWater returns the latest event time seen across all shards.
+func (s *Service) HighWater() int64 { return s.sd.HighWater() }
+
+// worker drains one shard's queue until it is closed and empty, coalescing
 // requests up to BatchEvents per scoring call.
-func (s *Service) worker() {
-	defer close(s.done)
-	for req := range s.queue {
+func (s *Service) worker(sh *svcShard) {
+	defer close(sh.done)
+	for req := range sh.queue {
 		batch := []request{req}
 		total := len(req.events)
 	coalesce:
 		for total < s.cfg.BatchEvents {
 			select {
-			case more, ok := <-s.queue:
+			case more, ok := <-sh.queue:
 				if !ok {
 					break coalesce
 				}
@@ -150,7 +279,7 @@ func (s *Service) worker() {
 		for _, r := range batch {
 			events = append(events, r.events...)
 		}
-		verdicts, err := s.det.Process(events)
+		verdicts, err := sh.det.Process(events)
 		at := 0
 		for _, r := range batch {
 			if err != nil {

@@ -268,32 +268,69 @@ type sessUndo struct {
 // users interleave freely. On scorer error the batch's session mutations
 // are rolled back (events still count in Stats) and the error is
 // returned, so a transient failure neither dilutes session aggregates
-// with zero scores nor grows windows past their cap.
+// with zero scores nor grows windows past their cap — a producer may
+// safely retry the same events.
 func (d *Detector) Process(events []Event) ([]Verdict, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
-	d.procMu.Lock()
-	defer d.procMu.Unlock()
+	b := d.begin(events)
+	// A panicking scorer must not leave the pipeline mutex held and the
+	// batch half-applied: roll back before the panic propagates, so a
+	// caller that recovers still has a usable detector.
+	defer func() {
+		if !b.finished {
+			b.abort()
+		}
+	}()
+	if err := b.score(); err != nil {
+		b.abort()
+		return nil, err
+	}
+	return b.commit(), nil
+}
 
-	// Pass 1 (under the state lock): sessionize, build scoring inputs
-	// (deduplicated), snapshot per-user undo state.
+// procBatch is one batch's in-flight state between the sessionize pass
+// and the verdict pass. The three phases — begin (sessionize + build
+// inputs), score, then commit or abort — are split out so a sharded
+// detector can two-phase commit across shards: every shard scores before
+// any shard commits, and one shard's failure aborts all of them. begin
+// acquires the detector's pipeline mutex; exactly one of commit or abort
+// must follow to release it (Go mutexes are not goroutine-affine, so the
+// committing goroutine need not be the beginning one).
+type procBatch struct {
+	d      *Detector
+	events []Event
+	inputs []string
+	pend   []pending
+	undos  []sessUndo
+	scores []float64
+
+	started, idleClosed int64 // this batch's share, for abort
+	hwBefore            int64
+	finished            bool // set by commit/abort; guards panic recovery
+}
+
+// begin runs pass 1 (under the state lock): sessionize, build scoring
+// inputs (deduplicated), snapshot per-user undo state.
+func (d *Detector) begin(events []Event) *procBatch {
+	d.procMu.Lock()
+	b := &procBatch{d: d, events: events}
+
 	d.mu.Lock()
-	var started, idleClosed int64 // this batch's share, for error rollback
-	hwBefore := d.highWater       // only Process (procMu-serialized) writes it
-	inputs := make([]string, 0, len(events))
+	b.hwBefore = d.highWater // only Process (procMu-serialized) writes it
+	b.inputs = make([]string, 0, len(events))
 	inputAt := make(map[string]int, len(events))
 	intern := func(s string) int {
 		if at, ok := inputAt[s]; ok {
 			return at
 		}
-		inputAt[s] = len(inputs)
-		inputs = append(inputs, s)
-		return len(inputs) - 1
+		inputAt[s] = len(b.inputs)
+		b.inputs = append(b.inputs, s)
+		return len(b.inputs) - 1
 	}
-	var undos []sessUndo
 	seen := make(map[string]bool)
-	pend := make([]pending, len(events))
+	b.pend = make([]pending, len(events))
 	for i, ev := range events {
 		sess := d.sessions[ev.User]
 		if !seen[ev.User] {
@@ -302,19 +339,19 @@ func (d *Detector) Process(events []Event) ([]Verdict, error) {
 			if sess != nil {
 				u.len, u.last = len(sess.entries), sess.last
 			}
-			undos = append(undos, u)
+			b.undos = append(b.undos, u)
 		}
 		if sess == nil {
 			sess = &session{}
 			d.sessions[ev.User] = sess
-			started++
+			b.started++
 		} else if len(sess.entries) > 0 && ev.Time-sess.last > d.cfg.IdleTimeout {
 			// Idle gap: close the session, open a fresh one. The old
 			// object stays reachable from earlier pendings in this batch.
 			sess = &session{}
 			d.sessions[ev.User] = sess
-			idleClosed++
-			started++
+			b.idleClosed++
+			b.started++
 		}
 		sess.last = ev.Time
 		sess.entries = append(sess.entries, entry{time: ev.Time, line: ev.Line})
@@ -324,7 +361,7 @@ func (d *Detector) Process(events []Event) ([]Verdict, error) {
 			lo = 0
 		}
 		ctxS := d.contextJoin(sess, idx)
-		pend[i] = pending{
+		b.pend[i] = pending{
 			sess: sess, idx: idx, lo: lo,
 			raw: intern(ev.Line), ctx: intern(ctxS), ctxS: ctxS,
 		}
@@ -333,51 +370,65 @@ func (d *Detector) Process(events []Event) ([]Verdict, error) {
 		}
 	}
 
-	d.stats.SessionsStarted += started
-	d.stats.SessionsIdleClosed += idleClosed
-	d.stats.ScoredInputs += int64(len(inputs))
+	d.stats.SessionsStarted += b.started
+	d.stats.SessionsIdleClosed += b.idleClosed
+	d.stats.ScoredInputs += int64(len(b.inputs))
 	d.stats.Events += int64(len(events))
 	d.mu.Unlock()
+	return b
+}
 
-	// Pass 2 (no state lock, so Stats/EvictIdle stay responsive): one
-	// batched scoring call for the whole request.
-	scores, err := d.scorer.Score(inputs)
-	if err == nil && len(scores) != len(inputs) {
-		err = fmt.Errorf("returned %d scores for %d inputs", len(scores), len(inputs))
+// score runs pass 2 (no state lock, so Stats/EvictIdle stay responsive):
+// one batched scoring call for the whole request.
+func (b *procBatch) score() error {
+	scores, err := b.d.scorer.Score(b.inputs)
+	if err == nil && len(scores) != len(b.inputs) {
+		err = fmt.Errorf("returned %d scores for %d inputs", len(scores), len(b.inputs))
 	}
 	if err != nil {
-		// Roll the batch's session mutations back; the failed events still
-		// count in Events, everything else reverts by delta (a concurrent
-		// EvictIdle between the passes keeps its own increments).
-		d.mu.Lock()
-		d.highWater = hwBefore
-		d.stats.SessionsStarted -= started
-		d.stats.SessionsIdleClosed -= idleClosed
-		d.stats.ScoredInputs -= int64(len(inputs))
-		for _, u := range undos {
-			if u.prev == nil {
-				delete(d.sessions, u.user)
-				continue
-			}
-			d.sessions[u.user] = u.prev
-			u.prev.entries = u.prev.entries[:u.len]
-			u.prev.last = u.last
-		}
-		d.mu.Unlock()
-		return nil, fmt.Errorf("stream: scoring %d inputs: %w", len(inputs), err)
+		return fmt.Errorf("stream: scoring %d inputs: %w", len(b.inputs), err)
 	}
+	b.scores = scores
+	return nil
+}
 
-	// Pass 3 (state lock again): fill window scores in order, aggregate,
-	// emit verdicts.
+// abort rolls the batch's session mutations back; the failed events still
+// count in Events, everything else reverts by delta (a concurrent
+// EvictIdle between the passes keeps its own increments).
+func (b *procBatch) abort() {
+	d := b.d
 	d.mu.Lock()
-	out := make([]Verdict, len(events))
-	for i, ev := range events {
-		p := pend[i]
-		ctxScore := scores[p.ctx]
+	d.highWater = b.hwBefore
+	d.stats.SessionsStarted -= b.started
+	d.stats.SessionsIdleClosed -= b.idleClosed
+	d.stats.ScoredInputs -= int64(len(b.inputs))
+	for _, u := range b.undos {
+		if u.prev == nil {
+			delete(d.sessions, u.user)
+			continue
+		}
+		d.sessions[u.user] = u.prev
+		u.prev.entries = u.prev.entries[:u.len]
+		u.prev.last = u.last
+	}
+	d.mu.Unlock()
+	b.finished = true
+	d.procMu.Unlock()
+}
+
+// commit runs pass 3 (state lock again): fill window scores in order,
+// aggregate, emit verdicts.
+func (b *procBatch) commit() []Verdict {
+	d := b.d
+	d.mu.Lock()
+	out := make([]Verdict, len(b.events))
+	for i, ev := range b.events {
+		p := b.pend[i]
+		ctxScore := b.scores[p.ctx]
 		p.sess.entries[p.idx].score = ctxScore
 		v := Verdict{
 			User: ev.User, Time: ev.Time, Line: ev.Line,
-			LineScore:    scores[p.raw],
+			LineScore:    b.scores[p.raw],
 			ContextScore: ctxScore,
 			SessionLines: p.idx - p.lo + 1,
 		}
@@ -400,14 +451,16 @@ func (d *Detector) Process(events []Event) ([]Verdict, error) {
 	// snapshots kept stable indices). The shift is in place — snapshots
 	// are not read after this point — so a saturated session reuses its
 	// backing array instead of allocating per event.
-	for _, p := range pend {
+	for _, p := range b.pend {
 		if over := len(p.sess.entries) - d.cfg.MaxSessionLines; over > 0 {
 			n := copy(p.sess.entries, p.sess.entries[over:])
 			p.sess.entries = p.sess.entries[:n]
 		}
 	}
 	d.mu.Unlock()
-	return out, nil
+	b.finished = true
+	d.procMu.Unlock()
+	return out
 }
 
 // contextJoin builds the §IV-C multi-line input for the entry at idx: up

@@ -299,6 +299,41 @@ func TestScorerErrorRollsBack(t *testing.T) {
 	}
 }
 
+// panicScorer panics on its first call, then scores normally.
+type panicScorer struct {
+	panicked bool
+}
+
+func (s *panicScorer) Score(lines []string) ([]float64, error) {
+	if !s.panicked {
+		s.panicked = true
+		panic("scorer bug")
+	}
+	return make([]float64, len(lines)), nil
+}
+
+// TestScorerPanicLeavesDetectorUsable: a panicking scorer must not wedge
+// the pipeline mutex or leave the batch half-applied — a caller that
+// recovers gets a rolled-back, fully usable detector.
+func TestScorerPanicLeavesDetectorUsable(t *testing.T) {
+	det := NewDetector(&panicScorer{}, DefaultConfig())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("scorer panic swallowed")
+			}
+		}()
+		det.Process([]Event{ev("u", 1, "x")})
+	}()
+	if st := det.Stats(); st.ActiveSessions != 0 || st.SessionsStarted != 0 {
+		t.Fatalf("panicked batch not rolled back: %+v", st)
+	}
+	vs, err := det.Process([]Event{ev("u", 2, "y")})
+	if err != nil || len(vs) != 1 || vs[0].SessionLines != 1 {
+		t.Fatalf("detector unusable after recovered panic: %v %+v", err, vs)
+	}
+}
+
 func TestHighWater(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.IdleTimeout = 100

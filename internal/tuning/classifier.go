@@ -87,7 +87,21 @@ type Classifier struct {
 	meanPool bool
 }
 
-var _ Scorer = (*Classifier)(nil)
+var (
+	_ Scorer       = (*Classifier)(nil)
+	_ Replicable   = (*Classifier)(nil)
+	_ CacheStatser = (*Classifier)(nil)
+)
+
+// Replicate returns an independent replica sharing the frozen backbone,
+// trained head, and standardizer; only the engine (scratch pool + LRU
+// cache) is replicated. Replicas score byte-identically and concurrently.
+func (c *Classifier) Replicate() Scorer {
+	return &Classifier{engine: c.engine.Clone(), head: c.head, std: c.std, meanPool: c.meanPool}
+}
+
+// CacheStats snapshots the serving engine's embedding-cache counters.
+func (c *Classifier) CacheStats() CacheStats { return c.engine.CacheStats() }
 
 // TrainClassifier tunes the head on (lines, labels) with the backbone
 // frozen. Because the backbone never changes, [CLS] features are extracted

@@ -31,6 +31,9 @@ type Engine struct {
 
 	pool  sync.Pool // *model.InferScratch, one per active worker
 	cache *lruCache // nil when disabled
+
+	cacheHits   atomic.Int64 // representatives served from the LRU
+	cacheMisses atomic.Int64 // representatives that paid encoder cost
 }
 
 // EngineConfig sizes the inference engine. The zero value selects defaults.
@@ -78,6 +81,43 @@ func NewEngine(enc *model.Encoder, tok *bpe.Tokenizer, cfg EngineConfig) *Engine
 		e.cache = newLRUCache(cfg.CacheLines)
 	}
 	return e
+}
+
+// Clone returns a fresh engine over the same frozen encoder and tokenizer
+// with the same configuration. The clone shares only the immutable
+// backbone weights; its scratch pool, LRU cache, and counters are its own,
+// so clones scale across shards without contending on mutable state.
+// Replica memory cost is the scratch arenas plus CacheLines embedding rows
+// — the model weights are never duplicated.
+func (e *Engine) Clone() *Engine {
+	return NewEngine(e.enc, e.tok, e.cfg)
+}
+
+// CacheStats is a snapshot of an engine's LRU embedding-cache counters.
+// Hits and Misses count cache probes of deduplicated representatives (a
+// within-call duplicate never probes); Entries is the live entry count.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any probe.
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// CacheStats snapshots the engine's embedding-cache counters. With the
+// cache disabled every representative counts as a miss.
+func (e *Engine) CacheStats() CacheStats {
+	s := CacheStats{Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load()}
+	if e.cache != nil {
+		s.Entries = e.cache.len()
+	}
+	return s
 }
 
 // feature kinds for cache keys and batch dispatch.
@@ -148,7 +188,9 @@ func (e *Engine) run(lines []string, feat int) (*tensor.Matrix, error) {
 			}
 			misses = append(misses, i)
 		}
+		e.cacheHits.Add(int64(len(reps) - len(misses)))
 	}
+	e.cacheMisses.Add(int64(len(misses)))
 
 	if len(misses) > 0 {
 		if err := e.computeInto(lines, keys, misses, feat, out); err != nil {

@@ -17,7 +17,20 @@ type PCAScorer struct {
 	det    *anomaly.PCADetector
 }
 
-var _ Scorer = (*PCAScorer)(nil)
+var (
+	_ Scorer       = (*PCAScorer)(nil)
+	_ Replicable   = (*PCAScorer)(nil)
+	_ CacheStatser = (*PCAScorer)(nil)
+)
+
+// Replicate returns an independent replica sharing the frozen backbone and
+// the fitted PCA detector; only the engine is replicated.
+func (s *PCAScorer) Replicate() Scorer {
+	return &PCAScorer{engine: s.engine.Clone(), det: s.det}
+}
+
+// CacheStats snapshots the serving engine's embedding-cache counters.
+func (s *PCAScorer) CacheStats() CacheStats { return s.engine.CacheStats() }
 
 // TrainPCA fits the unsupervised PCA detector on the baseline lines. No
 // labels are needed; opts selects the retained components (the zero value

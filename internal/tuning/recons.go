@@ -85,7 +85,21 @@ type ReconsTuner struct {
 	pca    *linalg.PCA
 }
 
-var _ Scorer = (*ReconsTuner)(nil)
+var (
+	_ Scorer       = (*ReconsTuner)(nil)
+	_ Replicable   = (*ReconsTuner)(nil)
+	_ CacheStatser = (*ReconsTuner)(nil)
+)
+
+// Replicate returns an independent replica sharing the tuned (now frozen)
+// encoder and the fitted PCA; only the engine is replicated, so replicas
+// score byte-identically without re-running the §IV-A alternation.
+func (r *ReconsTuner) Replicate() Scorer {
+	return &ReconsTuner{engine: r.engine.Clone(), pca: r.pca}
+}
+
+// CacheStats snapshots the serving engine's embedding-cache counters.
+func (r *ReconsTuner) CacheStats() CacheStats { return r.engine.CacheStats() }
 
 // TrainReconstruction runs the alternating optimization of §IV-A.
 // It MUTATES enc (the paper fine-tunes f in place); callers wanting to keep

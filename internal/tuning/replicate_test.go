@@ -1,0 +1,110 @@
+package tuning
+
+import (
+	"testing"
+)
+
+// TestScorerReplicasScoreIdentically pins the sharding contract: for every
+// method scorer, Replicate produces replicas whose scores are byte-equal
+// to the original's on the same lines, with independent caches.
+func TestScorerReplicasScoreIdentically(t *testing.T) {
+	scorers := concurrencyScorers(t)
+	f := getFixture(t)
+	lines := append(append([]string(nil), f.testPos...), f.testNeg...)
+
+	for name, s := range scorers {
+		t.Run(name, func(t *testing.T) {
+			reps, err := Replicas(s, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reps) != 3 || reps[0] != s {
+				t.Fatalf("Replicas: got %d scorers, first-is-original=%v", len(reps), reps[0] == s)
+			}
+			want, err := s.Score(lines)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, rep := range reps[1:] {
+				got, err := rep.Score(lines)
+				if err != nil {
+					t.Fatalf("replica %d: %v", r+1, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("replica %d line %d: %g, original %g", r+1, i, got[i], want[i])
+					}
+				}
+			}
+			// Replica caches are independent: the original's warm entries
+			// must not appear in a fresh replica before it scores.
+			fresh := s.(Replicable).Replicate()
+			if cs, ok := fresh.(CacheStatser); ok {
+				if st := cs.CacheStats(); st.Entries != 0 || st.Hits != 0 {
+					t.Fatalf("fresh replica cache not empty: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// plainScorer is a Scorer without Replicate.
+type plainScorer struct{}
+
+func (plainScorer) Score(lines []string) ([]float64, error) {
+	return make([]float64, len(lines)), nil
+}
+
+// TestReplicasRequiresReplicable: fanning out a non-replicable scorer is
+// an error; a single "replica" (the scorer itself) is always fine.
+func TestReplicasRequiresReplicable(t *testing.T) {
+	if _, err := Replicas(plainScorer{}, 2); err == nil {
+		t.Fatal("Replicas(non-replicable, 2) succeeded")
+	}
+	one, err := Replicas(plainScorer{}, 1)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("Replicas(non-replicable, 1): %v %d", err, len(one))
+	}
+	if _, err := Replicas(plainScorer{}, 0); err != nil {
+		t.Fatalf("Replicas clamps n<1: %v", err)
+	}
+}
+
+// TestEngineCloneIndependence: a cloned engine shares the frozen weights
+// (identical outputs) but owns its cache and counters.
+func TestEngineCloneIndependence(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultEngineConfig()
+	cfg.CacheLines = 64
+	eng := NewEngine(f.mdl.Encoder, f.tok, cfg)
+	lines := f.testPos
+
+	want, err := eng.EmbedLines(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("original engine recorded no cache activity: %+v", st)
+	}
+
+	clone := eng.Clone()
+	if st := clone.CacheStats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("clone inherited cache state: %+v", st)
+	}
+	got, err := clone.EmbedLines(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("element %d: clone %g, original %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	// A second pass over the same lines is all hits.
+	if _, err := clone.EmbedLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	if st := clone.CacheStats(); st.Hits == 0 || st.HitRate() <= 0 {
+		t.Fatalf("clone cache never hit: %+v", st)
+	}
+}

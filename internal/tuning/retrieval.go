@@ -17,7 +17,20 @@ type RetrievalScorer struct {
 	ret    *anomaly.Retrieval
 }
 
-var _ Scorer = (*RetrievalScorer)(nil)
+var (
+	_ Scorer       = (*RetrievalScorer)(nil)
+	_ Replicable   = (*RetrievalScorer)(nil)
+	_ CacheStatser = (*RetrievalScorer)(nil)
+)
+
+// Replicate returns an independent replica sharing the frozen backbone and
+// the fitted (read-only) retrieval index; only the engine is replicated.
+func (r *RetrievalScorer) Replicate() Scorer {
+	return &RetrievalScorer{engine: r.engine.Clone(), ret: r.ret}
+}
+
+// CacheStats snapshots the serving engine's embedding-cache counters.
+func (r *RetrievalScorer) CacheStats() CacheStats { return r.engine.CacheStats() }
 
 // TrainRetrieval indexes the labeled training lines. k=1 reproduces the
 // paper's 1NN setting.

@@ -29,6 +29,50 @@ type Scorer interface {
 	Score(lines []string) ([]float64, error)
 }
 
+// Replicable is implemented by scorers that can stamp out independent
+// replicas without re-tuning: the replica shares every frozen artifact
+// (backbone weights, trained head, fitted PCA / retrieval index /
+// standardizer) and replicates only mutable serving state — the inference
+// engine's scratch pool and LRU cache. Replicas therefore score
+// byte-identically to the original while never contending on a lock, which
+// is what lets a sharded streaming detector scale across cores.
+type Replicable interface {
+	Scorer
+	// Replicate returns an independent same-scoring replica.
+	Replicate() Scorer
+}
+
+// CacheStatser is implemented by scorers whose serving path runs on an
+// LRU-cached inference engine; services surface the stats per shard so
+// load skew and cache effectiveness stay observable.
+type CacheStatser interface {
+	// CacheStats snapshots the scorer's embedding-cache counters.
+	CacheStats() CacheStats
+}
+
+// Replicas returns n scorers that score identically to s: s itself first,
+// then n-1 replicas. It fails when n > 1 and s does not implement
+// Replicable (a custom scorer with shared mutable state cannot be safely
+// fanned out).
+func Replicas(s Scorer, n int) ([]Scorer, error) {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Scorer, 0, n)
+	out = append(out, s)
+	if n == 1 {
+		return out, nil
+	}
+	r, ok := s.(Replicable)
+	if !ok {
+		return nil, fmt.Errorf("tuning: scorer %T is not replicable; cannot build %d replicas", s, n)
+	}
+	for len(out) < n {
+		out = append(out, r.Replicate())
+	}
+	return out, nil
+}
+
 // embedBatchSize bounds encoder forward batches during feature extraction.
 const embedBatchSize = 32
 
