@@ -73,6 +73,16 @@ type (
 	CommercialIDS = commercial.IDS
 	// SupervisionNoise configures label noise.
 	SupervisionNoise = commercial.Noise
+
+	// ScorerConfig selects a serving detection method (the clmdetect /
+	// clmserve construction path).
+	ScorerConfig = core.ScorerConfig
+	// BuiltScorer is a tuned scorer plus the artifacts a bundle persists.
+	BuiltScorer = core.BuiltScorer
+	// BundleManifest describes a saved scorer bundle.
+	BundleManifest = core.BundleManifest
+	// LoadedBundle is a bundle restored for serving.
+	LoadedBundle = core.LoadedBundle
 )
 
 // Scorer is the common contract of all detection methods: one intrusion
@@ -154,6 +164,33 @@ func TrainReconstruction(p *Pipeline, lines []string, labels []bool, cfg ReconsC
 // reproduces the paper's 1NN setting.
 func TrainRetrieval(p *Pipeline, lines []string, labels []bool, k int) (Scorer, error) {
 	return p.NewRetrieval(lines, labels, k)
+}
+
+// BuildMethodScorer tunes one of the four serving methods over a trained
+// pipeline and keeps the artifacts a bundle needs — the build half of the
+// train-once / serve-many artifact layer.
+func BuildMethodScorer(p *Pipeline, cfg ScorerConfig, lines []string, labels []bool) (*BuiltScorer, error) {
+	return core.BuildScorerFull(p, cfg, lines, labels)
+}
+
+// SaveScorerBundle persists a built scorer as a versioned bundle directory
+// (manifest + tokenizer + backbone + method head, per-section checksums).
+// An empty version derives a content-addressed one.
+func SaveScorerBundle(dir string, p *Pipeline, bs *BuiltScorer, version string) (*BundleManifest, error) {
+	return core.SaveBundle(dir, p, bs, version)
+}
+
+// LoadScorerBundle restores a bundle for serving: checksums verified, no
+// baseline corpus, no tuning, scores byte-identical to the saved scorer.
+func LoadScorerBundle(dir string) (*LoadedBundle, error) {
+	return core.LoadScorerBundle(dir)
+}
+
+// ReplicateScorer fans a built or bundle-loaded scorer out into n
+// byte-identical replicas (shared frozen artifacts, per-replica engine) —
+// one per shard of a sharded streaming detector.
+func ReplicateScorer(s Scorer, n int) ([]Scorer, error) {
+	return core.ReplicateScorer(s, n)
 }
 
 // BuildContexts converts a timestamp-ordered log into multi-line inputs

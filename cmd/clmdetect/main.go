@@ -9,6 +9,12 @@
 //	clmdetect -model model/ -baseline data/train.jsonl \
 //	          -method classifier -input data/test.jsonl -top 20
 //
+// With -bundle the scorer cold-starts from a versioned bundle emitted by
+// clmtrain -bundle: no baseline log is read and no tuning runs — the
+// bundle's manifest selects the method.
+//
+//	clmdetect -bundle bundle/ -input data/test.jsonl -top 20
+//
 // Streaming usage (-follow tails the input, scoring each line as it
 // arrives through a session-aware detector; see internal/stream):
 //
@@ -50,9 +56,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("clmdetect", flag.ContinueOnError)
-	modelDir := fs.String("model", "model", "trained pipeline directory")
-	baseline := fs.String("baseline", "train.jsonl", "labeled baseline log (JSONL) for supervision")
-	method := fs.String("method", "classifier", "detection method: classifier | retrieval | reconstruction | pca")
+	bundle := fs.String("bundle", "", "scorer bundle directory (cold start: no baseline, no tuning; the manifest selects the method)")
+	modelDir := fs.String("model", "model", "trained pipeline directory (ignored with -bundle)")
+	baseline := fs.String("baseline", "train.jsonl", "labeled baseline log (JSONL) for supervision (ignored with -bundle)")
+	method := fs.String("method", "classifier", "detection method: classifier | retrieval | reconstruction | pca (ignored with -bundle)")
 	input := fs.String("input", "-", "lines to score: JSONL, plain text, or - for stdin")
 	top := fs.Int("top", 20, "how many highest-scored lines to print (batch mode)")
 	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
@@ -69,26 +76,39 @@ func run(args []string) error {
 		return err
 	}
 
-	pl, err := core.LoadPipeline(*modelDir)
-	if err != nil {
-		return err
-	}
-
-	baseLines, err := readBaseline(*baseline)
-	if err != nil {
-		return err
-	}
 	ids := commercial.Default()
-	labels, err := ids.Label(baseLines, commercial.DefaultNoise(), *seed)
-	if err != nil {
-		return err
-	}
-
-	scorer, err := core.BuildScorer(pl, core.ScorerConfig{
-		Method: *method, Epochs: *epochs, Seed: *seed,
-	}, baseLines, labels)
-	if err != nil {
-		return err
+	var scorer tuning.Scorer
+	if *bundle != "" {
+		// Cold start: the bundle carries backbone, tokenizer, and head —
+		// nothing is re-tuned and no baseline log is opened.
+		lb, err := core.LoadScorerBundle(*bundle)
+		if err != nil {
+			return err
+		}
+		scorer, *method = lb.Scorer, lb.Manifest.Method
+	} else {
+		// Fail a typoed method before the model loads and tuning starts.
+		if err := core.ValidateMethod(*method); err != nil {
+			return err
+		}
+		pl, err := core.LoadPipeline(*modelDir)
+		if err != nil {
+			return err
+		}
+		baseLines, err := readBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		labels, err := ids.Label(baseLines, commercial.DefaultNoise(), *seed)
+		if err != nil {
+			return err
+		}
+		scorer, err = core.BuildScorer(pl, core.ScorerConfig{
+			Method: *method, Epochs: *epochs, Seed: *seed,
+		}, baseLines, labels)
+		if err != nil {
+			return err
+		}
 	}
 
 	if *follow {

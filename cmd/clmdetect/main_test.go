@@ -99,10 +99,49 @@ func TestDetectMethods(t *testing.T) {
 }
 
 func TestDetectRejectsUnknownMethod(t *testing.T) {
-	modelDir, dataPath := buildFixture(t)
-	err := run([]string{"-model", modelDir, "-baseline", dataPath, "-method", "nope", "-input", dataPath})
-	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+	// The typo is rejected up front — no model directory is even opened, so
+	// a bogus -model path never gets the chance to mask the method error.
+	err := run([]string{"-model", "/nonexistent", "-baseline", "/nonexistent", "-method", "nope", "-input", "-"})
+	if err == nil || !strings.Contains(err.Error(), "unknown method") ||
+		!strings.Contains(err.Error(), "retrieval") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestDetectFromBundle: batch and follow mode cold-start from a bundle —
+// no -baseline flag, no tuning — and batch scores match the bundle's
+// scorer exactly.
+func TestDetectFromBundle(t *testing.T) {
+	modelDir, dataPath := buildFixture(t)
+	pl, err := core.LoadPipeline(modelDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLines, err := readBaseline(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := core.BuildScorerFull(pl, core.ScorerConfig{Method: "pca"}, baseLines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundleDir := t.TempDir()
+	if _, err := core.SaveBundle(bundleDir, pl, bs, "detect-test"); err != nil {
+		t.Fatal(err)
+	}
+
+	input := filepath.Join(t.TempDir(), "lines.txt")
+	if err := os.WriteFile(input, []byte("nc -lvnp 4444\nls -la /srv\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bundle", bundleDir, "-input", input, "-top", "2"}); err != nil {
+		t.Fatalf("batch from bundle: %v", err)
+	}
+	if err := run([]string{"-bundle", bundleDir, "-input", input, "-follow"}); err != nil {
+		t.Fatalf("follow from bundle: %v", err)
+	}
+	if err := run([]string{"-bundle", filepath.Join(t.TempDir(), "absent"), "-input", input}); err == nil {
+		t.Fatal("missing bundle accepted")
 	}
 }
 

@@ -1,12 +1,19 @@
-// Command clmserve is the streaming detection daemon: it loads a trained
-// pipeline (see clmtrain), builds one of the paper's detection methods
-// over a labeled baseline log, and serves NDJSON-over-HTTP scoring with
-// session-aware aggregation (see internal/stream).
+// Command clmserve is the streaming detection daemon: it serves
+// NDJSON-over-HTTP scoring with session-aware aggregation (see
+// internal/stream) over one of the paper's detection methods, obtained one
+// of two ways:
+//
+//   - -bundle dir: cold start from a versioned scorer bundle (see clmtrain
+//     -bundle and internal/core). No baseline corpus is read and no tuning
+//     runs at startup — the bundle carries the backbone, tokenizer, and
+//     method head, and the daemon is ready as soon as they deserialize.
+//   - -model + -baseline: legacy warm start — load a trained pipeline,
+//     build the method scorer over a labeled baseline log at startup
+//     (minutes for the tuned methods).
 //
 // Usage:
 //
-//	clmserve -model model/ -baseline data/train.jsonl \
-//	         -method retrieval -addr :8080 \
+//	clmserve -bundle bundle/ -addr :8080 \
 //	         -context 3 -aggregation decay -session-threshold 0.8
 //
 // Endpoints:
@@ -15,9 +22,20 @@
 //	              (corpus JSONL records work verbatim; extra fields are
 //	              ignored, a missing time defaults to arrival time).
 //	              response: NDJSON verdicts, one per event, in order.
+//	              503 until the scorer is ready.
 //	GET  /stats   JSON snapshot of detector + queue counters, aggregated
-//	              and per shard (queue depth, LRU hit rate — load skew
-//	              from hot users hashing to one shard is visible here).
+//	              and per shard (queue depth, LRU hit rate, active scorer
+//	              bundle version).
+//	GET  /healthz liveness: 200 from the moment the socket is open, even
+//	              during the potentially minutes-long scorer build/load.
+//	GET  /readyz  readiness: 503 until the scorer is serving — the probe
+//	              load balancers should route on.
+//	POST /reload  hot-swap the scorer from ?bundle=dir (default: the
+//	              active bundle directory — the -bundle flag, or the
+//	              directory of the last successful reload). The swap is
+//	              atomic between scoring batches across every shard;
+//	              nothing is dropped and no batch mixes scorers. SIGHUP
+//	              triggers the same reload of the active bundle directory.
 //
 // The detector is sharded across -shards (default GOMAXPROCS) partitions
 // keyed by hash(user): each shard owns its sessions, its bounded queue,
@@ -34,6 +52,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -41,6 +60,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -48,6 +68,7 @@ import (
 	"clmids/internal/core"
 	"clmids/internal/corpus"
 	"clmids/internal/stream"
+	"clmids/internal/tuning"
 )
 
 func main() {
@@ -59,9 +80,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("clmserve", flag.ContinueOnError)
-	modelDir := fs.String("model", "model", "trained pipeline directory")
-	baseline := fs.String("baseline", "train.jsonl", "labeled baseline log (JSONL) for supervision")
-	method := fs.String("method", "retrieval", "detection method: classifier | retrieval | reconstruction | pca")
+	bundleDir := fs.String("bundle", "", "scorer bundle directory (cold start: no baseline, no tuning); the initial /reload and SIGHUP source (rebound by an explicit /reload?bundle=dir)")
+	modelDir := fs.String("model", "model", "trained pipeline directory (ignored with -bundle)")
+	baseline := fs.String("baseline", "train.jsonl", "labeled baseline log (JSONL) for supervision (ignored with -bundle)")
+	method := fs.String("method", "retrieval", "detection method: classifier | retrieval | reconstruction | pca (ignored with -bundle: the manifest decides)")
 	addr := fs.String("addr", ":8080", "listen address")
 	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
 	seed := fs.Int64("seed", 1, "tuning seed")
@@ -85,32 +107,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	pl, err := core.LoadPipeline(*modelDir)
-	if err != nil {
-		return err
-	}
-	bf, err := os.Open(*baseline)
-	if err != nil {
-		return err
-	}
-	ds, err := corpus.ReadJSONL(bf)
-	bf.Close()
-	if err != nil {
-		return err
-	}
-	baseLines := ds.Lines()
-	ids := commercial.Default()
-	labels, err := ids.Label(baseLines, commercial.DefaultNoise(), *seed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "clmserve: building %s scorer over %d baseline lines...\n", *method, len(baseLines))
-	scorer, err := core.BuildScorer(pl, core.ScorerConfig{
-		Method: *method, Epochs: *epochs, Seed: *seed,
-	}, baseLines, labels)
-	if err != nil {
-		return err
+	// Fail a typoed method in milliseconds, not after loading the model.
+	if *bundleDir == "" {
+		if err := core.ValidateMethod(*method); err != nil {
+			return err
+		}
 	}
 
 	scfg := stream.DefaultConfig()
@@ -120,24 +121,63 @@ func run(args []string) error {
 	scfg.SessionThreshold = *sessThr
 	scfg.IdleTimeout = *idle
 	scfg.MaxSessionLines = *maxLines
-	// One scorer replica per shard: the frozen backbone and fitted
-	// artifacts are shared, only engine scratch + LRU cache replicate.
-	replicas, err := core.ReplicateScorer(scorer, *shards)
-	if err != nil {
-		return err
-	}
-	sharded, err := stream.NewShardedDetector(replicas, scfg)
-	if err != nil {
-		return err
-	}
-	svc := stream.NewShardedService(sharded,
-		stream.ServiceConfig{QueueRequests: *queue, BatchEvents: *batch})
 
+	// The socket opens before the scorer exists: /healthz answers 200
+	// immediately (liveness) while /readyz and /score answer 503 until the
+	// build/load below finishes, so restart supervisors see a live process
+	// and load balancers see a not-yet-ready replica instead of a black
+	// hole during the (potentially minutes-long) warm start.
+	d := newDaemon(*bundleDir)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	server := &http.Server{Handler: newHandler(svc, *batch)}
+	server := &http.Server{Handler: newHandler(d, *batch)}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "clmserve: listening on %s (not ready yet)\n", ln.Addr())
+
+	// Register signals before the (potentially minutes-long) scorer
+	// build/load: SIGHUP's default disposition kills the process, so an
+	// early reload request must be queued for the serving loop below, not
+	// terminate a warming replica.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+
+	var scorer tuning.Scorer
+	version := ""
+	if *bundleDir != "" {
+		lb, err := core.LoadScorerBundle(*bundleDir)
+		if err != nil {
+			server.Close()
+			return err
+		}
+		scorer, version, *method = lb.Scorer, lb.Manifest.Version, lb.Manifest.Method
+		fmt.Fprintf(os.Stderr, "clmserve: loaded %s bundle %s (no tuning)\n", *method, version)
+	} else {
+		scorer, err = buildScorerFromBaseline(*modelDir, *baseline, *method, *epochs, *seed)
+		if err != nil {
+			server.Close()
+			return err
+		}
+	}
+
+	// One scorer replica per shard: the frozen backbone and fitted
+	// artifacts are shared, only engine scratch + LRU cache replicate.
+	replicas, err := core.ReplicateScorer(scorer, *shards)
+	if err != nil {
+		server.Close()
+		return err
+	}
+	sharded, err := stream.NewShardedDetector(replicas, scfg)
+	if err != nil {
+		server.Close()
+		return err
+	}
+	sharded.SetScorerVersion(version)
+	svc := stream.NewShardedService(sharded,
+		stream.ServiceConfig{QueueRequests: *queue, BatchEvents: *batch})
+	d.attach(svc)
 
 	// Periodic idle-session sweep bounds memory across a large user
 	// population. It runs on the stream's high-water event time, not wall
@@ -160,53 +200,200 @@ func run(args []string) error {
 		}
 	}()
 
-	errc := make(chan error, 1)
-	go func() { errc <- server.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving on %s (%d shards)\n", *method, ln.Addr(), *shards)
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		svc.Close()
-		return err
-	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "clmserve: %v: draining...\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := server.Shutdown(ctx); err != nil {
-			// A never-ending streaming /score client keeps its handler
-			// active past the deadline; force-close it — the drain below
-			// still answers everything the queue accepted.
-			fmt.Fprintf(os.Stderr, "clmserve: forced shutdown: %v\n", err)
-			server.Close()
+	for {
+		select {
+		case err := <-errc:
+			svc.Close()
+			return err
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Hot-reload the active bundle directory (the -bundle flag,
+				// or the last successful /reload source); serving continues
+				// throughout, a failed reload keeps the old scorer.
+				if v, err := d.reload(""); err != nil {
+					fmt.Fprintf(os.Stderr, "clmserve: SIGHUP reload failed: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "clmserve: SIGHUP reloaded bundle %s\n", v)
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "clmserve: %v: draining...\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := server.Shutdown(ctx); err != nil {
+				// A never-ending streaming /score client keeps its handler
+				// active past the deadline; force-close it — the drain below
+				// still answers everything the queue accepted.
+				fmt.Fprintf(os.Stderr, "clmserve: forced shutdown: %v\n", err)
+				server.Close()
+			}
+			svc.Close() // drain queued requests through the detector
+			st := svc.Stats()
+			fmt.Fprintf(os.Stderr, "clmserve: drained; %d events scored, %d session alerts\n",
+				st.Events, st.SessionAlerts)
+			return nil
 		}
-		svc.Close() // drain queued requests through the detector
-		st := svc.Stats()
-		fmt.Fprintf(os.Stderr, "clmserve: drained; %d events scored, %d session alerts\n",
-			st.Events, st.SessionAlerts)
-		return nil
 	}
 }
 
-// newHandler wires the HTTP surface over the streaming service.
-func newHandler(svc *stream.Service, chunk int) http.Handler {
+// buildScorerFromBaseline is the legacy warm start: load the pipeline and
+// tune the method head over the labeled baseline log.
+func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed int64) (tuning.Scorer, error) {
+	pl, err := core.LoadPipeline(modelDir)
+	if err != nil {
+		return nil, err
+	}
+	bf, err := os.Open(baseline)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := corpus.ReadJSONL(bf)
+	bf.Close()
+	if err != nil {
+		return nil, err
+	}
+	baseLines := ds.Lines()
+	ids := commercial.Default()
+	labels, err := ids.Label(baseLines, commercial.DefaultNoise(), seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "clmserve: building %s scorer over %d baseline lines...\n", method, len(baseLines))
+	return core.BuildScorer(pl, core.ScorerConfig{
+		Method: method, Epochs: epochs, Seed: seed,
+	}, baseLines, labels)
+}
+
+// daemon is the handler-visible serving state: nil service until the
+// startup scorer build/load finishes, then the live service plus the
+// bundle directory reloads default to. The HTTP surface runs against it
+// from before readiness through hot-reloads.
+type daemon struct {
+	mu        sync.RWMutex
+	svc       *stream.Service
+	bundleDir string
+
+	reloadMu sync.Mutex // serializes /reload + SIGHUP loads
+}
+
+func newDaemon(bundleDir string) *daemon {
+	return &daemon{bundleDir: bundleDir}
+}
+
+// attach publishes the service; the daemon is ready from this point.
+func (d *daemon) attach(svc *stream.Service) {
+	d.mu.Lock()
+	d.svc = svc
+	d.mu.Unlock()
+}
+
+// service returns the live service, or false while warming up.
+func (d *daemon) service() (*stream.Service, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.svc, d.svc != nil
+}
+
+// errNoBundle distinguishes "nothing to reload from" from load failures.
+var errNoBundle = errors.New("no bundle directory: started without -bundle; pass ?bundle=dir")
+
+// reload loads the bundle at dir (default: the active bundle directory)
+// and hot-swaps it into every shard, returning the new version. A
+// successful explicit reload rebinds the active directory, so SIGHUP and
+// parameterless reloads keep refreshing whatever is currently serving.
+// The expensive part — deserializing and replicating — happens before the
+// swap, so scoring pauses only for the pointer exchange.
+func (d *daemon) reload(dir string) (string, error) {
+	d.reloadMu.Lock()
+	defer d.reloadMu.Unlock()
+
+	svc, ok := d.service()
+	if !ok {
+		return "", errors.New("not ready yet")
+	}
+	d.mu.RLock()
+	if dir == "" {
+		dir = d.bundleDir
+	}
+	d.mu.RUnlock()
+	if dir == "" {
+		return "", errNoBundle
+	}
+	lb, err := core.LoadScorerBundle(dir)
+	if err != nil {
+		return "", err
+	}
+	if err := svc.SwapScorer(lb.Scorer, lb.Manifest.Version); err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.bundleDir = dir
+	d.mu.Unlock()
+	return lb.Manifest.Version, nil
+}
+
+// newHandler wires the HTTP surface over the daemon state.
+func newHandler(d *daemon, chunk int) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST NDJSON events", http.StatusMethodNotAllowed)
 			return
 		}
+		svc, ok := d.service()
+		if !ok {
+			http.Error(w, "scorer loading, not ready", http.StatusServiceUnavailable)
+			return
+		}
 		handleScore(svc, chunk, w, r)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		svc, ok := d.service()
+		if !ok {
+			http.Error(w, "scorer loading, not ready", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(svc.Stats())
 	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST /reload?bundle=dir", http.StatusMethodNotAllowed)
+			return
+		}
+		version, err := d.reload(r.URL.Query().Get("bundle"))
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, errNoBundle) {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"version": version})
+	})
+	// Liveness: the process is up; 200 even while the scorer is still
+	// building or loading, so supervisors don't restart a warming replica.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	// Readiness: route traffic here only once the scorer serves.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		svc, ok := d.service()
+		if !ok {
+			http.Error(w, "loading", http.StatusServiceUnavailable)
+			return
+		}
+		if v := svc.ScorerVersion(); v != "" {
+			fmt.Fprintf(w, "ready %s\n", v)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	return mux
 }

@@ -11,16 +11,25 @@ import (
 
 	"clmids/internal/core"
 	"clmids/internal/corpus"
-	"clmids/internal/linalg"
 	"clmids/internal/stream"
-	"clmids/internal/tuning"
 )
 
 // serveFixture trains one tiny pipeline and an unsupervised PCA scorer
-// (fast: no head tuning), shared across the handler tests.
+// (fast: no head tuning), shared across the handler tests. The pipeline
+// and built scorer are kept so bundle tests can SaveBundle cheaply.
 type serveFixture struct {
 	svc  *stream.Service
 	test *corpus.Dataset
+	pl   *core.Pipeline
+	bs   *core.BuiltScorer
+}
+
+// ready wraps the fixture service in an attached daemon, the state the
+// handler serves against after startup completes.
+func (f *serveFixture) ready() *daemon {
+	d := newDaemon("")
+	d.attach(f.svc)
+	return d
 }
 
 var (
@@ -47,7 +56,7 @@ func getFixture(t *testing.T) *serveFixture {
 			fixErr = err
 			return
 		}
-		scorer, err := tuning.TrainPCA(pl.Model.Encoder, pl.Tok, train.Lines(), linalg.PCAOptions{})
+		bs, err := core.BuildScorerFull(pl, core.ScorerConfig{Method: "pca"}, train.Lines(), nil)
 		if err != nil {
 			fixErr = err
 			return
@@ -56,7 +65,7 @@ func getFixture(t *testing.T) *serveFixture {
 		cfg.ContextWindow = 3
 		// Two shards over scorer replicas: the HTTP tests exercise the
 		// sharded routing/scatter path end to end.
-		replicas, err := core.ReplicateScorer(scorer, 2)
+		replicas, err := core.ReplicateScorer(bs.Scorer, 2)
 		if err != nil {
 			fixErr = err
 			return
@@ -69,6 +78,8 @@ func getFixture(t *testing.T) *serveFixture {
 		fix = &serveFixture{
 			svc:  stream.NewShardedService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64}),
 			test: test,
+			pl:   pl,
+			bs:   bs,
 		}
 	})
 	if fixErr != nil {
@@ -79,7 +90,7 @@ func getFixture(t *testing.T) *serveFixture {
 
 func TestScoreEndpointNDJSON(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.svc, 32))
+	srv := httptest.NewServer(newHandler(f.ready(), 32))
 	defer srv.Close()
 
 	// Corpus JSONL records work verbatim as events (extra fields ignored).
@@ -122,7 +133,7 @@ func TestScoreEndpointNDJSON(t *testing.T) {
 
 func TestScoreEndpointMalformedLineNumber(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.svc, 32))
+	srv := httptest.NewServer(newHandler(f.ready(), 32))
 	defer srv.Close()
 
 	body := `{"user":"u","time":1,"line":"ls"}` + "\n" + `{"user":` + "\n"
@@ -143,7 +154,7 @@ func TestScoreEndpointMalformedLineNumber(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.svc, 32))
+	srv := httptest.NewServer(newHandler(f.ready(), 32))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/stats")
@@ -175,7 +186,7 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestScoreMethodNotAllowed(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.svc, 32))
+	srv := httptest.NewServer(newHandler(f.ready(), 32))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/score")
 	if err != nil {
@@ -192,8 +203,145 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		!strings.Contains(err.Error(), "unknown aggregation") {
 		t.Fatalf("bad aggregation: %v", err)
 	}
-	if err := run([]string{"-model", "/nonexistent"}); err == nil {
+	// A typoed method fails up front, before any model or baseline loads.
+	if err := run([]string{"-method", "retrieva1"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") ||
+		!strings.Contains(err.Error(), "classifier") {
+		t.Fatalf("bad method not rejected with the valid list: %v", err)
+	}
+	if err := run([]string{"-model", "/nonexistent", "-addr", "127.0.0.1:0"}); err == nil {
 		t.Fatal("missing model accepted")
+	}
+	if err := run([]string{"-bundle", "/nonexistent", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing bundle accepted")
+	}
+}
+
+// TestReadinessSplit: during the scorer build/load window the daemon is
+// live (/healthz 200) but not ready (/readyz, /score, /stats 503), so load
+// balancers don't route to a cold replica; attach flips readiness.
+func TestReadinessSplit(t *testing.T) {
+	f := getFixture(t)
+	d := newDaemon("")
+	srv := httptest.NewServer(newHandler(d, 32))
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("cold /healthz %d, want 200", got)
+	}
+	for _, path := range []string{"/readyz", "/stats"} {
+		if got := get(path); got != http.StatusServiceUnavailable {
+			t.Fatalf("cold %s %d, want 503", path, got)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/score", "application/x-ndjson",
+		strings.NewReader(`{"user":"u","time":1,"line":"ls"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold /score %d, want 503", resp.StatusCode)
+	}
+
+	d.attach(f.svc)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("ready /readyz %d, want 200", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("ready /healthz %d, want 200", got)
+	}
+}
+
+// TestReloadEndpoint: POST /reload hot-swaps a bundle into the live
+// service and the bundle version propagates to the aggregate stats and to
+// every shard's breakdown.
+func TestReloadEndpoint(t *testing.T) {
+	f := getFixture(t)
+	d := f.ready()
+	srv := httptest.NewServer(newHandler(d, 32))
+	defer srv.Close()
+
+	// No -bundle configured and no ?bundle param: a 400, not a crash.
+	resp, err := http.Post(srv.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload without source: %d, want 400", resp.StatusCode)
+	}
+
+	dir := t.TempDir()
+	man, err := core.SaveBundle(dir, f.pl, f.bs, "swap-test-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/reload?bundle="+dir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body["version"] != man.Version {
+		t.Fatalf("reload: status %d body %v, want 200/version %s", resp.StatusCode, body, man.Version)
+	}
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st stream.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ScorerVersion != man.Version {
+		t.Fatalf("aggregate scorer version %q, want %q", st.ScorerVersion, man.Version)
+	}
+	if len(st.Shards) == 0 {
+		t.Fatal("no per-shard stats")
+	}
+	for _, ss := range st.Shards {
+		if ss.ScorerVersion != man.Version {
+			t.Fatalf("shard %d scorer version %q, want %q", ss.Shard, ss.ScorerVersion, man.Version)
+		}
+	}
+
+	// Scoring still flows after the swap.
+	resp, err = http.Post(srv.URL+"/score", "application/x-ndjson",
+		strings.NewReader(`{"user":"reload-u","time":99,"line":"ls -la"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload /score %d, want 200", resp.StatusCode)
+	}
+
+	// A broken bundle path fails the reload and keeps the old scorer.
+	resp, err = http.Post(srv.URL+"/reload?bundle=/nonexistent", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("broken reload: %d, want 500", resp.StatusCode)
+	}
+	if got := f.svc.ScorerVersion(); got != man.Version {
+		t.Fatalf("failed reload changed version to %q", got)
 	}
 }
 
@@ -202,7 +350,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestZZScoreAfterClose(t *testing.T) {
 	f := getFixture(t)
 	f.svc.Close()
-	srv := httptest.NewServer(newHandler(f.svc, 32))
+	srv := httptest.NewServer(newHandler(f.ready(), 32))
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/score", "application/x-ndjson",
 		strings.NewReader(`{"user":"u","time":1,"line":"ls"}`+"\n"))

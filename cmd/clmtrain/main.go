@@ -6,6 +6,16 @@
 // Usage:
 //
 //	clmtrain -data data/train.jsonl -out model/ -epochs 2 -hidden 48
+//
+// With -bundle the command additionally runs the serving-side adaptation
+// once — supervision from the simulated commercial IDS over the training
+// log, then the -method head — and emits a versioned scorer bundle
+// (internal/core): the train-once half of train-once / serve-many.
+// clmserve -bundle and clmdetect -bundle then cold-start from it with no
+// baseline corpus and no tuning.
+//
+//	clmtrain -data data/train.jsonl -out model/ \
+//	         -bundle bundle/ -method retrieval
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
 	"clmids/internal/model"
@@ -44,8 +55,18 @@ func run(args []string) error {
 	minFreq := fs.Int("min-freq", 3, "command-frequency filter threshold")
 	maxLines := fs.Int("max-lines", 0, "cap on pre-training lines (0 = all)")
 	seed := fs.Int64("seed", 1, "training seed")
+	bundle := fs.String("bundle", "", "also emit a versioned scorer bundle to this directory (train-once / serve-many)")
+	method := fs.String("method", "retrieval", "bundle detection method: classifier | retrieval | reconstruction | pca")
+	bundleEpochs := fs.Int("bundle-epochs", 8, "bundle classifier tuning epochs")
+	bundleVersion := fs.String("bundle-version", "", "bundle version label (default: content-derived)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *bundle != "" {
+		// Validate before the minutes of pre-training, not after.
+		if err := core.ValidateMethod(*method); err != nil {
+			return err
+		}
 	}
 
 	f, err := os.Open(*data)
@@ -88,5 +109,31 @@ func run(args []string) error {
 	}
 	fmt.Printf("saved pipeline to %s (vocab %d, final MLM loss %.4f)\n",
 		*out, pl.Tok.VocabSize(), pl.History.FinalLoss)
+
+	if *bundle == "" {
+		return nil
+	}
+	// Bundle emit: the training log doubles as the labeled baseline, with
+	// supervision from the simulated commercial IDS — the same signal
+	// clmserve's warm start would derive, computed once here instead of at
+	// every service start.
+	baseLines := ds.Lines()
+	labels, err := commercial.Default().Label(baseLines, commercial.DefaultNoise(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tuning %s head over %d baseline lines...\n", *method, len(baseLines))
+	bs, err := core.BuildScorerFull(pl, core.ScorerConfig{
+		Method: *method, Epochs: *bundleEpochs, Seed: *seed,
+	}, baseLines, labels)
+	if err != nil {
+		return err
+	}
+	bs.Provenance.Corpus = *data
+	man, err := core.SaveBundle(*bundle, pl, bs, *bundleVersion)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved %s bundle %s to %s\n", man.Method, man.Version, *bundle)
 	return nil
 }

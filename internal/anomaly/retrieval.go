@@ -34,6 +34,9 @@ func NewRetrieval(k int) *Retrieval {
 	return &Retrieval{K: k}
 }
 
+// Dim returns the embedding dimensionality of the fitted index.
+func (r *Retrieval) Dim() int { return r.all.Cols }
+
 // FitLabeled indexes the training embeddings with their (noisy) supervision
 // labels; true marks lines the commercial IDS flagged.
 func (r *Retrieval) FitLabeled(x *tensor.Matrix, labels []bool) error {

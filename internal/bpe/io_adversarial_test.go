@@ -1,0 +1,165 @@
+package bpe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// trainWeird builds a tokenizer over a corpus engineered to push hostile
+// content into the vocabulary and merge tables: embedded double quotes,
+// backslashes, unicode (multi-byte runes the byte-level BPE splits and
+// re-merges), and control-ish punctuation — the characters most likely to
+// break a quoting-based on-disk format.
+func trainWeird(t *testing.T) *Tokenizer {
+	t.Helper()
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines,
+			`echo "quoted \"payload\" with spaces"`,
+			`grep -P '\\\\server\\share' /etc/fstab`,
+			"curl https://例え.jp/путь/файл?q=naïve#ß",
+			"printf '%s\\n' \"$HOME\"",
+			`awk '{print "col:" $1}' data.csv`,
+		)
+	}
+	tok, err := Train(lines, TrainConfig{VocabSize: 420})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.NumMerges() == 0 {
+		t.Fatal("fixture produced no merges; adversarial round-trip needs them")
+	}
+	return tok
+}
+
+// TestSaveLoadAdversarialTokens: quoting survives quotes, backslashes, and
+// multi-byte unicode in both the vocabulary and the merge list, and the
+// reloaded tokenizer encodes identically.
+func TestSaveLoadAdversarialTokens(t *testing.T) {
+	tok := trainWeird(t)
+	var buf bytes.Buffer
+	if err := tok.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.VocabSize() != tok.VocabSize() || loaded.NumMerges() != tok.NumMerges() {
+		t.Fatalf("size drift: vocab %d->%d merges %d->%d",
+			tok.VocabSize(), loaded.VocabSize(), tok.NumMerges(), loaded.NumMerges())
+	}
+	probes := []string{
+		`echo "quoted \"payload\" with spaces"`,
+		"curl https://例え.jp/путь/файл?q=naïve#ß",
+		`grep -P '\\\\server\\share' nofile`,
+		"plain ls -la",
+		"", // zero-length line
+	}
+	for _, p := range probes {
+		a, b := tok.Encode(p), loaded.Encode(p)
+		if len(a) != len(b) {
+			t.Fatalf("probe %q: %d vs %d tokens after reload", p, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("probe %q: token %d diverges (%d vs %d)", p, i, a[i], b[i])
+			}
+		}
+	}
+	// Round-trip is idempotent at the byte level: save(load(save(x))) ==
+	// save(x), the property bundle checksums rely on.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-saving a loaded tokenizer changed the bytes")
+	}
+}
+
+// TestLoadTruncatedStreams: cutting the stream at every structural
+// boundary (and a few byte offsets inside lines) returns an error —
+// never a panic, never a silently smaller tokenizer.
+func TestLoadTruncatedStreams(t *testing.T) {
+	tok := trainWeird(t)
+	var buf bytes.Buffer
+	if err := tok.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cuts := []int{0, 1, len("clmids-bpe v1"), len(full) / 4, len(full) / 2, len(full) - 2}
+	for _, n := range cuts {
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation to %d/%d bytes accepted", n, len(full))
+		}
+	}
+	// Cutting mid-line through the merges section as well.
+	idx := bytes.LastIndex(full, []byte("\n"))
+	if _, err := Load(bytes.NewReader(full[:idx-3])); err == nil {
+		t.Error("mid-merge truncation accepted")
+	}
+}
+
+// TestLoadZeroMergeSection: a tokenizer with an empty merge list (vocab =
+// base bytes only) is a legal file, not a corrupt one.
+func TestLoadZeroMergeSection(t *testing.T) {
+	tok, err := Train([]string{"a b c"}, TrainConfig{VocabSize: baseVocab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.NumMerges() != 0 {
+		t.Skipf("fixture unexpectedly learned %d merges", tok.NumMerges())
+	}
+	var buf bytes.Buffer
+	if err := tok.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("zero-merge tokenizer rejected: %v", err)
+	}
+	if loaded.VocabSize() != tok.VocabSize() {
+		t.Fatalf("vocab %d, want %d", loaded.VocabSize(), tok.VocabSize())
+	}
+}
+
+// TestLoadMalformedQuoting: hostile hand-written files error cleanly.
+func TestLoadMalformedQuoting(t *testing.T) {
+	tok := trainWeird(t)
+	var buf bytes.Buffer
+	if err := tok.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	mutations := map[string]func(string) string{
+		"unterminated token quote": func(s string) string {
+			return strings.Replace(s, "\"a\"", "\"a", 1)
+		},
+		"merge missing second half": func(s string) string {
+			lines := strings.Split(s, "\n")
+			for i, l := range lines {
+				if strings.HasPrefix(l, "merges ") && i+1 < len(lines) {
+					lines[i+1] = strings.SplitN(lines[i+1], " ", 2)[0]
+					break
+				}
+			}
+			return strings.Join(lines, "\n")
+		},
+		"negative vocab": func(s string) string {
+			return strings.Replace(s, "vocab ", "vocab -", 1)
+		},
+		"vocab overflow claim": func(s string) string {
+			lines := strings.Split(s, "\n")
+			lines[1] = "vocab 999999999"
+			return strings.Join(lines, "\n")
+		},
+	}
+	for name, mutate := range mutations {
+		if _, err := Load(strings.NewReader(mutate(text))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"clmids/internal/bpe"
+	"clmids/internal/model"
+	"clmids/internal/preprocess"
+	"clmids/internal/tuning"
+)
+
+// A scorer bundle is the train-once / serve-many artifact: one directory
+// holding everything a serving process needs to score without re-tuning —
+// the pre-processing filter state, the BPE tokenizer, the serving backbone
+// (for the reconstruction method, the tuned encoder), the method head, and
+// a manifest binding them together with per-section checksums.
+//
+// Layout:
+//
+//	manifest.json     format version, method, config, provenance,
+//	                  content-derived version, per-section sha256
+//	preprocess.json   Fig. 2 filter state
+//	tokenizer.txt     BPE vocabulary + merges
+//	model.gob         serving backbone weights
+//	scorer.bin        method head (tuning.SaveScorerHead)
+//
+// Every section serializes deterministically, so re-saving the same built
+// scorer reproduces identical checksums and therefore the same derived
+// version — bundle versions are content addresses, not timestamps.
+
+// BundleFormat identifies the on-disk bundle layout; LoadScorerBundle
+// rejects manifests written by a different major format.
+const BundleFormat = "clmids-bundle v1"
+
+// File names inside a bundle directory (preprocessFile, tokenizerFile and
+// modelFile are shared with the pipeline layout in io.go).
+const (
+	manifestFile = "manifest.json"
+	scorerFile   = "scorer.bin"
+)
+
+// BundleProvenance records where a bundle's supervision came from, so a
+// fleet operator can tell two same-method bundles apart.
+type BundleProvenance struct {
+	// BaselineLines is the size of the labeled baseline log the head was
+	// tuned on.
+	BaselineLines int `json:"baseline_lines"`
+	// Seed is the tuning seed.
+	Seed int64 `json:"seed"`
+	// Corpus describes the baseline source (a path, a generator spec);
+	// free-form, informational.
+	Corpus string `json:"corpus,omitempty"`
+}
+
+// BundleManifest is the bundle's self-description, stored as manifest.json.
+type BundleManifest struct {
+	Format string `json:"format"`
+	// Version identifies the bundle for fleet operations (/stats, /reload
+	// logs). When SaveBundle is not given one it derives a content address
+	// from the section checksums.
+	Version string `json:"version"`
+	// Method is the detection method of the head (core.ScorerMethods).
+	Method string `json:"method"`
+	// Config is the ScorerConfig the head was built with.
+	Config ScorerConfig `json:"config"`
+	// CreatedUnix is the save time (informational; not part of Version).
+	CreatedUnix int64            `json:"created_unix"`
+	Provenance  BundleProvenance `json:"provenance"`
+	// Checksums maps each section file to its sha256 (hex). Load verifies
+	// every section against it before deserializing anything.
+	Checksums map[string]string `json:"checksums"`
+}
+
+// SaveBundle persists a built scorer as a versioned bundle directory,
+// creating it if needed. pl supplies the shared pipeline artifacts (filter
+// state, tokenizer); the backbone written is bs.Backbone — for the
+// reconstruction method the tuned clone, not pl.Model. An empty version
+// derives a content-addressed one from the section checksums. Returns the
+// manifest as written.
+func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*BundleManifest, error) {
+	method, ok := tuning.ScorerMethod(bs.Scorer)
+	if !ok {
+		return nil, fmt.Errorf("core: scorer %T has no bundle representation", bs.Scorer)
+	}
+	if bs.Config.Method != "" && bs.Config.Method != method {
+		return nil, fmt.Errorf("core: built scorer is %s but config says %s", method, bs.Config.Method)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating %s: %w", dir, err)
+	}
+
+	sections := []struct {
+		name string
+		save func(*bytes.Buffer) error
+	}{
+		{preprocessFile, func(b *bytes.Buffer) error { return pl.Pre.Save(b) }},
+		{tokenizerFile, func(b *bytes.Buffer) error { return pl.Tok.Save(b) }},
+		{modelFile, func(b *bytes.Buffer) error { return bs.Backbone.Save(b) }},
+		{scorerFile, func(b *bytes.Buffer) error { return tuning.SaveScorerHead(b, bs.Scorer) }},
+	}
+	m := &BundleManifest{
+		Format:      BundleFormat,
+		Version:     version,
+		Method:      method,
+		Config:      bs.Config,
+		CreatedUnix: time.Now().Unix(),
+		Provenance:  bs.Provenance,
+		Checksums:   make(map[string]string, len(sections)),
+	}
+	for _, s := range sections {
+		var buf bytes.Buffer
+		if err := s.save(&buf); err != nil {
+			return nil, fmt.Errorf("core: serializing bundle %s: %w", s.name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, s.name), buf.Bytes(), 0o644); err != nil {
+			return nil, fmt.Errorf("core: writing bundle %s: %w", s.name, err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		m.Checksums[s.name] = hex.EncodeToString(sum[:])
+	}
+	if m.Version == "" {
+		m.Version = deriveVersion(m.Checksums)
+	}
+
+	mj, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), append(mj, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("core: writing manifest: %w", err)
+	}
+	return m, nil
+}
+
+// deriveVersion hashes the section checksums (in file-name order) into a
+// short content address: two bundles with identical sections always get
+// the same derived version, regardless of when or where they were saved.
+func deriveVersion(checksums map[string]string) string {
+	names := make([]string, 0, len(checksums))
+	for name := range checksums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		fmt.Fprintf(h, "%s %s\n", name, checksums[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// LoadedBundle is a bundle restored for serving: every artifact plus the
+// ready-to-score engine-backed scorer (Replicable, so sharded services
+// fan it out with ReplicateScorer as usual).
+type LoadedBundle struct {
+	Manifest BundleManifest
+	Pre      *preprocess.Preprocessor
+	Tok      *bpe.Tokenizer
+	Model    *model.Model
+	Scorer   tuning.Scorer
+}
+
+// LoadScorerBundle restores a bundle saved by SaveBundle: it verifies the
+// manifest format and every section checksum, then deserializes the
+// backbone, tokenizer, and head into the same LRU-cached engine-backed
+// scorer BuildScorer would have produced — no baseline corpus, no tuning.
+// Scores from the loaded scorer are byte-identical to the freshly built
+// one's.
+func LoadScorerBundle(dir string) (*LoadedBundle, error) {
+	mj, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading bundle manifest: %w", err)
+	}
+	var m BundleManifest
+	if err := json.Unmarshal(mj, &m); err != nil {
+		return nil, fmt.Errorf("core: parsing bundle manifest: %w", err)
+	}
+	if m.Format != BundleFormat {
+		return nil, fmt.Errorf("core: unknown bundle format %q (this build reads %q)", m.Format, BundleFormat)
+	}
+	if err := ValidateMethod(m.Method); err != nil {
+		return nil, fmt.Errorf("core: bundle manifest: %w", err)
+	}
+
+	// Read and verify every section before deserializing any of them: a
+	// truncated or tampered file fails with a checksum error naming the
+	// section, not a decoder panic deep inside gob.
+	raw := make(map[string][]byte, 4)
+	for _, name := range []string{preprocessFile, tokenizerFile, modelFile, scorerFile} {
+		want, ok := m.Checksums[name]
+		if !ok {
+			return nil, fmt.Errorf("core: bundle manifest lists no checksum for %s", name)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("core: reading bundle section: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			return nil, fmt.Errorf("core: bundle section %s checksum mismatch (manifest %s, file %s)",
+				name, want[:12], got[:12])
+		}
+		raw[name] = data
+	}
+
+	lb := &LoadedBundle{Manifest: m}
+	if lb.Pre, err = preprocess.Load(bytes.NewReader(raw[preprocessFile])); err != nil {
+		return nil, fmt.Errorf("core: bundle %s: %w", preprocessFile, err)
+	}
+	if lb.Tok, err = bpe.Load(bytes.NewReader(raw[tokenizerFile])); err != nil {
+		return nil, fmt.Errorf("core: bundle %s: %w", tokenizerFile, err)
+	}
+	if lb.Model, err = model.Load(bytes.NewReader(raw[modelFile])); err != nil {
+		return nil, fmt.Errorf("core: bundle %s: %w", modelFile, err)
+	}
+	scorer, method, err := tuning.LoadScorerHead(bytes.NewReader(raw[scorerFile]), lb.Model.Encoder, lb.Tok)
+	if err != nil {
+		return nil, fmt.Errorf("core: bundle %s: %w", scorerFile, err)
+	}
+	if method != m.Method {
+		return nil, fmt.Errorf("core: bundle head is %s but manifest says %s", method, m.Method)
+	}
+	lb.Scorer = scorer
+	return lb, nil
+}

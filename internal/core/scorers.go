@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clmids/internal/linalg"
+	"clmids/internal/model"
 	"clmids/internal/tuning"
 )
 
@@ -21,7 +22,22 @@ type ScorerConfig struct {
 
 // ScorerMethods lists the valid ScorerConfig.Method values.
 func ScorerMethods() []string {
-	return []string{"classifier", "retrieval", "reconstruction", "pca"}
+	return []string{
+		tuning.MethodClassifier, tuning.MethodRetrieval,
+		tuning.MethodReconstruction, tuning.MethodPCA,
+	}
+}
+
+// ValidateMethod rejects method names BuildScorer would not accept, with
+// an error that lists the valid ones. Commands call it before loading
+// anything so a typo fails in milliseconds, not after minutes of tuning.
+func ValidateMethod(method string) error {
+	for _, m := range ScorerMethods() {
+		if method == m {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown method %q (want one of %v)", method, ScorerMethods())
 }
 
 // ReplicateScorer turns one built scorer into n scorers that score
@@ -35,6 +51,20 @@ func ReplicateScorer(s tuning.Scorer, n int) ([]tuning.Scorer, error) {
 	return tuning.Replicas(s, n)
 }
 
+// BuiltScorer is a freshly tuned scorer together with the artifacts a
+// bundle must persist to reconstruct it: the serving backbone (the
+// pipeline's model, or the tuned clone for the reconstruction method,
+// whose encoder IS the scorer) and the build provenance.
+type BuiltScorer struct {
+	Scorer tuning.Scorer
+	// Backbone is the model the scorer's engine runs on.
+	Backbone *model.Model
+	// Config is the resolved scorer configuration.
+	Config ScorerConfig
+	// Provenance records where the head's supervision came from.
+	Provenance BundleProvenance
+}
+
 // BuildScorer constructs the requested §III/§IV method over the pipeline's
 // backbone. Every returned scorer holds a persistent LRU-cached inference
 // engine (the backbone is frozen after construction), so a long-running
@@ -44,8 +74,30 @@ func ReplicateScorer(s tuning.Scorer, n int) ([]tuning.Scorer, error) {
 // baseLines is the labeled baseline log; labels carries its (noisy)
 // supervision. The unsupervised pca method ignores labels.
 func BuildScorer(pl *Pipeline, cfg ScorerConfig, baseLines []string, labels []bool) (tuning.Scorer, error) {
+	bs, err := BuildScorerFull(pl, cfg, baseLines, labels)
+	if err != nil {
+		return nil, err
+	}
+	return bs.Scorer, nil
+}
+
+// BuildScorerFull is BuildScorer keeping hold of the bundle artifacts —
+// the build half of the train-once / serve-many split. Callers that only
+// score keep using BuildScorer; callers that persist pass the result to
+// SaveBundle, and serving processes restore it with LoadScorerBundle
+// without re-tuning anything.
+func BuildScorerFull(pl *Pipeline, cfg ScorerConfig, baseLines []string, labels []bool) (*BuiltScorer, error) {
+	bs := &BuiltScorer{
+		Backbone: pl.Model,
+		Config:   cfg,
+		Provenance: BundleProvenance{
+			BaselineLines: len(baseLines),
+			Seed:          cfg.Seed,
+		},
+	}
+	var err error
 	switch cfg.Method {
-	case "classifier":
+	case tuning.MethodClassifier:
 		ccfg := tuning.DefaultClassifierConfig()
 		if cfg.Epochs > 0 {
 			ccfg.Epochs = cfg.Epochs
@@ -54,18 +106,33 @@ func BuildScorer(pl *Pipeline, cfg ScorerConfig, baseLines []string, labels []bo
 			ccfg.Seed = cfg.Seed
 		}
 		ccfg.MeanPoolFeatures = true
-		return pl.NewClassifier(baseLines, labels, ccfg)
-	case "retrieval":
-		return pl.NewRetrieval(baseLines, labels, 1)
-	case "reconstruction":
+		bs.Scorer, err = pl.NewClassifier(baseLines, labels, ccfg)
+	case tuning.MethodRetrieval:
+		bs.Scorer, err = pl.NewRetrieval(baseLines, labels, 1)
+	case tuning.MethodReconstruction:
+		// Reconstruction tunes the encoder itself; the tuned clone — not
+		// the pipeline's pristine model — is what a bundle must carry as
+		// the serving backbone.
 		rcfg := tuning.DefaultReconsConfig()
 		if cfg.Seed != 0 {
 			rcfg.Seed = cfg.Seed
 		}
-		return pl.NewReconstruction(baseLines, labels, rcfg)
-	case "pca":
-		return tuning.TrainPCA(pl.Model.Encoder, pl.Tok, baseLines, linalg.PCAOptions{})
+		var clone *model.Model
+		clone, err = pl.CloneModel()
+		if err != nil {
+			return nil, err
+		}
+		bs.Backbone = clone
+		bs.Scorer, err = tuning.TrainReconstruction(clone.Encoder, pl.Tok, baseLines, labels, rcfg)
+	case tuning.MethodPCA:
+		bs.Scorer, err = tuning.TrainPCA(pl.Model.Encoder, pl.Tok, baseLines, linalg.PCAOptions{})
 	default:
-		return nil, fmt.Errorf("core: unknown method %q (want one of %v)", cfg.Method, ScorerMethods())
+		// Methods are exhaustively matched above, so this is exactly
+		// ValidateMethod's error.
+		return nil, ValidateMethod(cfg.Method)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return bs, nil
 }

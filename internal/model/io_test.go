@@ -1,0 +1,114 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func savedTiny(t *testing.T) ([]byte, *Model) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	m, err := NewModel(tinyConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), m
+}
+
+// TestLoadTruncatedSnapshot: cutting the gob stream anywhere returns an
+// error, never a panic — the failure mode of a half-written model.gob
+// after a crashed save or an interrupted download.
+func TestLoadTruncatedSnapshot(t *testing.T) {
+	full, _ := savedTiny(t)
+	for _, n := range []int{0, 1, 16, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation to %d/%d bytes accepted", n, len(full))
+		}
+	}
+}
+
+// TestLoadRejectsTamperedSnapshot: structurally valid gob with lying
+// metadata — wrong format tag, shape/data disagreement, missing tensors —
+// errors instead of building a scrambled model.
+func TestLoadRejectsTamperedSnapshot(t *testing.T) {
+	full, _ := savedTiny(t)
+	decode := func(t *testing.T) *snapshot {
+		t.Helper()
+		var snap snapshot
+		if err := gob.NewDecoder(bytes.NewReader(full)).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return &snap
+	}
+	reload := func(snap *snapshot) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			return err
+		}
+		_, err := Load(&buf)
+		return err
+	}
+
+	t.Run("wrong format", func(t *testing.T) {
+		snap := decode(t)
+		snap.Format = "clmids-model v999"
+		if err := reload(snap); err == nil {
+			t.Fatal("future format accepted")
+		}
+	})
+	t.Run("shape mismatch", func(t *testing.T) {
+		snap := decode(t)
+		snap.Shapes[0][0]++
+		if err := reload(snap); err == nil {
+			t.Fatal("shape drift accepted")
+		}
+	})
+	t.Run("short tensor data", func(t *testing.T) {
+		snap := decode(t)
+		snap.Params[1] = snap.Params[1][:len(snap.Params[1])-1]
+		if err := reload(snap); err == nil {
+			t.Fatal("zero-length-shifted tensor accepted")
+		}
+	})
+	t.Run("empty tensor section", func(t *testing.T) {
+		snap := decode(t)
+		snap.Params[2] = nil
+		if err := reload(snap); err == nil {
+			t.Fatal("nil tensor accepted")
+		}
+	})
+	t.Run("dropped tensors", func(t *testing.T) {
+		snap := decode(t)
+		snap.Params = snap.Params[:len(snap.Params)/2]
+		snap.Shapes = snap.Shapes[:len(snap.Shapes)/2]
+		if err := reload(snap); err == nil {
+			t.Fatal("half a model accepted")
+		}
+	})
+	t.Run("untampered control", func(t *testing.T) {
+		// The mutation harness itself must round-trip cleanly.
+		if err := reload(decode(t)); err != nil {
+			t.Fatalf("control reload failed: %v", err)
+		}
+	})
+}
+
+// TestSaveDeterministic: saving the same weights twice yields identical
+// bytes — the property bundle checksums and content-derived versions
+// depend on.
+func TestSaveDeterministic(t *testing.T) {
+	full, m := savedTiny(t)
+	var again bytes.Buffer
+	if err := m.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, again.Bytes()) {
+		t.Fatal("two saves of the same model differ")
+	}
+}

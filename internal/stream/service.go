@@ -228,7 +228,7 @@ func (s *Service) Stats() ServiceStats {
 			QueueDepth:    len(sh.queue),
 			QueueCapacity: s.cfg.QueueRequests,
 		}
-		if cs, ok := sh.det.scorer.(tuning.CacheStatser); ok {
+		if cs, ok := sh.det.scorerRef().(tuning.CacheStatser); ok {
 			c := cs.CacheStats()
 			ss.Cache = &c
 			ss.CacheHitRate = c.HitRate()
@@ -239,6 +239,18 @@ func (s *Service) Stats() ServiceStats {
 	}
 	return st
 }
+
+// SwapScorer hot-reloads the service's scorer across every shard without
+// stopping intake: queued requests keep queueing, in-flight batches finish
+// on the old scorer, and every batch after the swap scores on the new one
+// (ShardedDetector.SwapScorer semantics — atomic between batches, nothing
+// dropped, no mixed batch).
+func (s *Service) SwapScorer(sc tuning.Scorer, version string) error {
+	return s.sd.SwapScorer(sc, version)
+}
+
+// ScorerVersion returns the active scorer artifact version.
+func (s *Service) ScorerVersion() string { return s.sd.ScorerVersion() }
 
 // Sharded exposes the wrapped sharded detector.
 func (s *Service) Sharded() *ShardedDetector { return s.sd }

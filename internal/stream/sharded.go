@@ -169,11 +169,61 @@ func (d *ShardedDetector) Process(events []Event) ([]Verdict, error) {
 	return out, nil
 }
 
+// SwapScorer hot-reloads the detector: it replicates the new scorer once
+// per shard (tuning.Replicas — shared frozen artifacts, per-shard engine),
+// then swaps every shard atomically between batches. The swap is
+// two-phase, mirroring Process: phase 1 acquires every shard's pipeline
+// mutex in ascending order (the same deadlock discipline Process uses), so
+// it waits for every in-flight batch to commit and blocks new ones; phase
+// 2 installs one replica per shard and stamps the version, then releases.
+// No batch ever scores on a mix of old and new scorers — not even a
+// multi-shard ShardedDetector.Process, whose shards all begin before any
+// scores — and nothing is dropped: callers blocked on the pipeline mutexes
+// simply proceed on the new scorer.
+//
+// Replication happens before any lock is taken, so the scoring pause is
+// the pointer swap, not the artifact load — swap cost is off the hot path.
+func (d *ShardedDetector) SwapScorer(s tuning.Scorer, version string) error {
+	scorers, err := tuning.Replicas(s, len(d.dets))
+	if err != nil {
+		return err
+	}
+	for _, det := range d.dets {
+		det.procMu.Lock()
+	}
+	for i, det := range d.dets {
+		det.mu.Lock() // Stats' cache probe reads the scorer under mu
+		det.scorer = scorers[i]
+		det.version = version
+		det.mu.Unlock()
+	}
+	for _, det := range d.dets {
+		det.procMu.Unlock()
+	}
+	return nil
+}
+
+// SetScorerVersion stamps the artifact version on every shard without
+// touching the scorers — the cold-start path, where the shards were
+// constructed from replicas of an already-loaded bundle.
+func (d *ShardedDetector) SetScorerVersion(version string) {
+	for _, det := range d.dets {
+		det.mu.Lock()
+		det.version = version
+		det.mu.Unlock()
+	}
+}
+
+// ScorerVersion returns shard 0's artifact version; construction and
+// SwapScorer keep every shard on the same one.
+func (d *ShardedDetector) ScorerVersion() string { return d.dets[0].ScorerVersion() }
+
 // Stats returns counters summed across shards. ScoredInputs is the sum of
 // per-shard dedup counts, so it can exceed the unsharded figure when the
-// same line reaches users on different shards.
+// same line reaches users on different shards. ScorerVersion is shard 0's
+// (every shard carries the same one).
 func (d *ShardedDetector) Stats() Stats {
-	var total Stats
+	total := Stats{ScorerVersion: d.ScorerVersion()}
 	for _, det := range d.dets {
 		s := det.Stats()
 		total.Events += s.Events

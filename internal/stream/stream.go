@@ -198,6 +198,10 @@ type Stats struct {
 	SessionsEvicted    int64 `json:"sessions_evicted"`
 	// ActiveSessions is the live session count at snapshot time.
 	ActiveSessions int `json:"active_sessions"`
+	// ScorerVersion identifies the active scorer artifact (the bundle
+	// version for bundle-loaded scorers); empty when never set. Set at
+	// construction time via SwapScorer or ShardedDetector.SetScorerVersion.
+	ScorerVersion string `json:"scorer_version,omitempty"`
 }
 
 // entry is one retained window line.
@@ -228,7 +232,8 @@ type Detector struct {
 	mu        sync.Mutex // guards sessions + stats, never held while scoring
 	sessions  map[string]*session
 	stats     Stats
-	highWater int64 // latest event time seen, for event-time EvictIdle sweeps
+	highWater int64  // latest event time seen, for event-time EvictIdle sweeps
+	version   string // active scorer artifact version, surfaced in Stats
 }
 
 // NewDetector wraps a scorer with session-aware streaming state. For
@@ -524,6 +529,44 @@ func (d *Detector) aggregate(window []entry) float64 {
 	}
 }
 
+// SwapScorer atomically replaces the detector's scorer, tagging it with an
+// artifact version (surfaced in Stats). It acquires the pipeline mutex, so
+// it waits for any in-flight Process batch to commit and the next batch
+// scores entirely on the new scorer — no event is ever scored half-old /
+// half-new, and nothing queued is dropped. Session state (windows,
+// aggregates, counters) is deliberately kept: scores already committed
+// under the old scorer stay in their windows, exactly as a drift-refresh
+// deployment wants.
+//
+// The swap is off the hot path: callers should finish the expensive part —
+// loading and replicating the new scorer — before calling.
+func (d *Detector) SwapScorer(s tuning.Scorer, version string) {
+	d.procMu.Lock()
+	// Both locks: Process reads the scorer under procMu, while off-path
+	// readers (Stats' cache probe) read it under the state lock.
+	d.mu.Lock()
+	d.scorer = s
+	d.version = version
+	d.mu.Unlock()
+	d.procMu.Unlock()
+}
+
+// scorerRef returns the active scorer under the state lock — the accessor
+// for readers outside the Process pipeline, which must not race a
+// SwapScorer in flight.
+func (d *Detector) scorerRef() tuning.Scorer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.scorer
+}
+
+// ScorerVersion returns the active scorer's artifact version.
+func (d *Detector) ScorerVersion() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
 // EvictIdle removes sessions whose last event is more than IdleTimeout
 // seconds before now, bounding memory across a large user population, and
 // returns how many were evicted. Services call it periodically with the
@@ -558,6 +601,7 @@ func (d *Detector) Stats() Stats {
 	defer d.mu.Unlock()
 	s := d.stats
 	s.ActiveSessions = len(d.sessions)
+	s.ScorerVersion = d.version
 	return s
 }
 

@@ -191,3 +191,19 @@ func TestEngineManyLines(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheStatsZeroTraffic guards the HitRate division edge: a scorer
+// that has served no traffic (0 hits + 0 misses — exactly what a /stats
+// scrape sees right after a cold start or a hot swap) reports 0, not NaN.
+func TestCacheStatsZeroTraffic(t *testing.T) {
+	var zero CacheStats
+	if got := zero.HitRate(); got != 0 {
+		t.Fatalf("zero-traffic hit rate %v, want 0", got)
+	}
+	if got := (CacheStats{Hits: 3}).HitRate(); got != 1 {
+		t.Fatalf("all-hit rate %v, want 1", got)
+	}
+	if got := (CacheStats{Misses: 5}).HitRate(); got != 0 {
+		t.Fatalf("all-miss rate %v, want 0", got)
+	}
+}

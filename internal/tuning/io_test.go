@@ -1,0 +1,130 @@
+package tuning
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clmids/internal/linalg"
+	"clmids/internal/model"
+)
+
+// TestScorerHeadRoundTrips: every method head reloads into a scorer whose
+// scores match the original exactly, over the shared tuning fixture.
+func TestScorerHeadRoundTrips(t *testing.T) {
+	f := getFixture(t)
+	eval := append(append([]string(nil), f.testPos...), f.testNeg...)
+
+	// Each builder returns the scorer plus the encoder a loader must pair
+	// the head with — the shared frozen backbone, except for the
+	// reconstruction method, which tunes (a clone of) the encoder and
+	// serves on the tuned weights.
+	builders := map[string]func(t *testing.T) (Scorer, *model.Encoder, error){
+		MethodClassifier: func(t *testing.T) (Scorer, *model.Encoder, error) {
+			cfg := DefaultClassifierConfig()
+			cfg.Epochs = 2
+			s, err := TrainClassifier(f.mdl.Encoder, f.tok, f.trainX, f.trainY, cfg)
+			return s, f.mdl.Encoder, err
+		},
+		MethodRetrieval: func(t *testing.T) (Scorer, *model.Encoder, error) {
+			s, err := TrainRetrieval(f.mdl.Encoder, f.tok, f.trainX, f.trainY, 1)
+			return s, f.mdl.Encoder, err
+		},
+		MethodPCA: func(t *testing.T) (Scorer, *model.Encoder, error) {
+			s, err := TrainPCA(f.mdl.Encoder, f.tok, f.trainX, linalg.PCAOptions{})
+			return s, f.mdl.Encoder, err
+		},
+		MethodReconstruction: func(t *testing.T) (Scorer, *model.Encoder, error) {
+			clone := cloneModel(t, f.mdl) // recons tunes the encoder in place
+			cfg := DefaultReconsConfig()
+			cfg.Rounds = 1
+			s, err := TrainReconstruction(clone.Encoder, f.tok, f.trainX, f.trainY, cfg)
+			return s, clone.Encoder, err
+		},
+	}
+	for method, build := range builders {
+		t.Run(method, func(t *testing.T) {
+			s, enc, err := build(t)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			want, err := s.Score(eval)
+			if err != nil {
+				t.Fatalf("score: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := SaveScorerHead(&buf, s); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			// Deterministic serialization: same head, same bytes.
+			var buf2 bytes.Buffer
+			if err := SaveScorerHead(&buf2, s); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("saving the same head twice produced different bytes")
+			}
+
+			loaded, gotMethod, err := LoadScorerHead(&buf, enc, f.tok)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if gotMethod != method {
+				t.Fatalf("loaded method %q, want %q", gotMethod, method)
+			}
+			got, err := loaded.Score(eval)
+			if err != nil {
+				t.Fatalf("loaded score: %v", err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("score %d diverges: %v vs %v", i, got[i], want[i])
+				}
+			}
+			if _, ok := loaded.(Replicable); !ok {
+				t.Fatalf("loaded %s scorer is not replicable", method)
+			}
+		})
+	}
+}
+
+// TestLoadScorerHeadRejectsGarbage: truncated, empty, and wrong-backbone
+// streams fail with errors, never panics.
+func TestLoadScorerHeadRejectsGarbage(t *testing.T) {
+	f := getFixture(t)
+	s, err := TrainPCA(f.mdl.Encoder, f.tok, f.trainX, linalg.PCAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveScorerHead(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	for _, n := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		if _, _, err := LoadScorerHead(bytes.NewReader(full[:n]), f.mdl.Encoder, f.tok); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, _, err := LoadScorerHead(strings.NewReader("not a gob stream at all"), f.mdl.Encoder, f.tok); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}
+
+// TestSaveScorerHeadRejectsUnknown: custom scorers outside the four-method
+// artifact layer are refused, not silently mis-serialized.
+func TestSaveScorerHeadRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveScorerHead(&buf, scorerFunc(nil)); err == nil ||
+		!strings.Contains(err.Error(), "no persistable head") {
+		t.Fatalf("unknown scorer type: %v", err)
+	}
+	if _, ok := ScorerMethod(scorerFunc(nil)); ok {
+		t.Fatal("unknown scorer type has a method name")
+	}
+}
+
+type scorerFunc func([]string) ([]float64, error)
+
+func (f scorerFunc) Score(lines []string) ([]float64, error) { return f(lines) }
