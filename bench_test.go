@@ -18,6 +18,7 @@ import (
 	"clmids/internal/anomaly"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/model"
 	"clmids/internal/preprocess"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
@@ -224,6 +225,39 @@ func BenchmarkInferenceThroughputCold(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// coldBenchAtPrecision is BenchmarkInferenceThroughputCold's body with the
+// engine pinned to one rung of the precision ladder: cache off, every
+// unique line pays full encoder cost at that precision.
+func coldBenchAtPrecision(b *testing.B, prec model.Precision) {
+	pl, lines := inferBenchFixture(b)
+	ecfg := tuning.DefaultEngineConfig()
+	ecfg.CacheLines = 0
+	ecfg.Precision = prec
+	engine := tuning.NewEngine(pl.Model.Encoder, pl.Tok, ecfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.EmbedLines(inferBenchWindowAt(lines, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkInferenceThroughputColdF32 is the cold engine on the float32
+// rung: identical batch geometry, half the GEMM memory traffic.
+func BenchmarkInferenceThroughputColdF32(b *testing.B) {
+	coldBenchAtPrecision(b, model.PrecisionFloat32)
+}
+
+// BenchmarkInferenceThroughputColdInt8 is the cold engine on the int8
+// rung: quantized weights, int32 accumulation, float32 activations. The
+// acceptance bar for the precision ladder is ≥2× the float64 cold rate.
+func BenchmarkInferenceThroughputColdInt8(b *testing.B) {
+	coldBenchAtPrecision(b, model.PrecisionInt8)
 }
 
 // BenchmarkInferenceThroughputTape is the autograd-tape baseline the

@@ -22,6 +22,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,20 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+)
+
+// Named comparison failures, distinguishable by errors.Is so callers (and
+// tests) can tell a missing benchmark from a real regression or a
+// meaningless baseline.
+var (
+	// ErrBenchMissing: the gated benchmark exists in only one report —
+	// e.g. a renamed benchmark or a baseline not yet refreshed.
+	ErrBenchMissing = errors.New("gated benchmark missing from a report")
+	// ErrZeroBaseline: the baseline entry has no meaningful lines/s, so a
+	// ratio would divide by zero and the gate could never fail.
+	ErrZeroBaseline = errors.New("gated benchmark has a zero baseline")
+	// ErrRegression: the gated metric dropped beyond the tolerance.
+	ErrRegression = errors.New("gated benchmark regressed")
 )
 
 // Entry is one benchmark's throughput sample.
@@ -80,9 +95,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
-		summary, ok := compareReports(base, pr, *gate, *maxRegress)
+		summary, err := compareReports(base, pr, *gate, *maxRegress)
 		fmt.Print(summary)
-		if !ok {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
 	}
@@ -168,42 +184,66 @@ func readReport(path string) (Report, error) {
 	return rep, nil
 }
 
-// compareReports renders a comparison of every benchmark present in both
-// reports and gates on one of them: ok is false when the gated benchmark
-// is missing from either report or its lines/s dropped by more than
-// maxRegress of the baseline.
-func compareReports(base, pr Report, gate string, maxRegress float64) (string, bool) {
+// compareReports renders the delta table for every benchmark present in
+// both reports, lists benchmarks present in only one (named loudly so a
+// rename or stale baseline is visible instead of silently dropped), and
+// gates on one benchmark. The returned error is nil when the gate passes;
+// otherwise it wraps ErrBenchMissing, ErrZeroBaseline, or ErrRegression.
+func compareReports(base, pr Report, gate string, maxRegress float64) (string, error) {
 	var b strings.Builder
-	names := make([]string, 0, len(base.Benchmarks))
+	var matched, baseOnly, prOnly []string
 	for name := range base.Benchmarks {
 		if _, ok := pr.Benchmarks[name]; ok {
-			names = append(names, name)
+			matched = append(matched, name)
+		} else {
+			baseOnly = append(baseOnly, name)
 		}
 	}
-	sort.Strings(names)
+	for name := range pr.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			prOnly = append(prOnly, name)
+		}
+	}
+	sort.Strings(matched)
+	sort.Strings(baseOnly)
+	sort.Strings(prOnly)
+
 	fmt.Fprintf(&b, "%-44s %14s %14s %8s\n", "benchmark", "baseline", "pr", "ratio")
-	for _, name := range names {
+	for _, name := range matched {
 		bl, p := base.Benchmarks[name], pr.Benchmarks[name]
 		mark := ""
 		if name == gate {
 			mark = "  <- gate"
 		}
-		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %8.2f%s\n",
-			name, bl.LinesPerSec, p.LinesPerSec, p.LinesPerSec/bl.LinesPerSec, mark)
+		ratio := "    n/a"
+		if bl.LinesPerSec > 0 {
+			ratio = fmt.Sprintf("%7.2f", p.LinesPerSec/bl.LinesPerSec)
+		}
+		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %s%s\n",
+			name, bl.LinesPerSec, p.LinesPerSec, ratio, mark)
+	}
+	for _, name := range baseOnly {
+		fmt.Fprintf(&b, "%-44s only in baseline (removed or not run in PR)\n", name)
+	}
+	for _, name := range prOnly {
+		fmt.Fprintf(&b, "%-44s only in PR (new; absent from baseline)\n", name)
 	}
 
 	bl, okBase := base.Benchmarks[gate]
 	p, okPR := pr.Benchmarks[gate]
 	switch {
 	case !okBase || !okPR:
-		fmt.Fprintf(&b, "FAIL: gated benchmark %s missing (baseline %v, pr %v)\n", gate, okBase, okPR)
-		return b.String(), false
+		return b.String(), fmt.Errorf("%w: %s (in baseline: %v, in pr: %v)",
+			ErrBenchMissing, gate, okBase, okPR)
+	case !(bl.LinesPerSec > 0):
+		return b.String(), fmt.Errorf("%w: %s baseline %v lines/s — refresh BENCH_BASELINE.json",
+			ErrZeroBaseline, gate, bl.LinesPerSec)
 	case p.LinesPerSec < bl.LinesPerSec*(1-maxRegress):
-		fmt.Fprintf(&b, "FAIL: %s regressed %.1f%% (%.0f -> %.0f lines/s, tolerance %.0f%%)\n",
-			gate, 100*(1-p.LinesPerSec/bl.LinesPerSec), bl.LinesPerSec, p.LinesPerSec, 100*maxRegress)
-		return b.String(), false
+		return b.String(), fmt.Errorf("%w: %s dropped %.1f%% (%.0f -> %.0f lines/s, tolerance %.0f%%)",
+			ErrRegression, gate, 100*(1-p.LinesPerSec/bl.LinesPerSec),
+			bl.LinesPerSec, p.LinesPerSec, 100*maxRegress)
 	}
 	fmt.Fprintf(&b, "OK: %s within %.0f%% of baseline (%.0f -> %.0f lines/s)\n",
 		gate, 100*maxRegress, bl.LinesPerSec, p.LinesPerSec)
-	return b.String(), true
+	return b.String(), nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -83,32 +84,70 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkStreamingThroughput": 162000,
 		"BenchmarkInferenceThroughput": 100, // not gated, may crater freely
 	})
-	summary, ok := compareReports(base, okPR, "BenchmarkStreamingThroughput", 0.20)
-	if !ok {
-		t.Fatalf("19%% drop failed a 20%% gate:\n%s", summary)
+	summary, err := compareReports(base, okPR, "BenchmarkStreamingThroughput", 0.20)
+	if err != nil {
+		t.Fatalf("19%% drop failed a 20%% gate (%v):\n%s", err, summary)
 	}
 	if !strings.Contains(summary, "OK:") || !strings.Contains(summary, "<- gate") {
 		t.Fatalf("summary lacks verdict/gate marker:\n%s", summary)
 	}
 
-	// Beyond tolerance: fail.
+	// Beyond tolerance: fail with the named regression error.
 	badPR := report(map[string]float64{"BenchmarkStreamingThroughput": 150000})
-	summary, ok = compareReports(base, badPR, "BenchmarkStreamingThroughput", 0.20)
-	if ok {
-		t.Fatalf("25%% drop passed a 20%% gate:\n%s", summary)
-	}
-	if !strings.Contains(summary, "FAIL:") {
-		t.Fatalf("failing summary lacks FAIL:\n%s", summary)
+	summary, err = compareReports(base, badPR, "BenchmarkStreamingThroughput", 0.20)
+	if !errors.Is(err, ErrRegression) {
+		t.Fatalf("25%% drop: err %v, want ErrRegression:\n%s", err, summary)
 	}
 
 	// Faster never fails.
 	fastPR := report(map[string]float64{"BenchmarkStreamingThroughput": 900000})
-	if _, ok := compareReports(base, fastPR, "BenchmarkStreamingThroughput", 0.20); !ok {
-		t.Fatal("speedup failed the gate")
+	if _, err := compareReports(base, fastPR, "BenchmarkStreamingThroughput", 0.20); err != nil {
+		t.Fatalf("speedup failed the gate: %v", err)
+	}
+}
+
+func TestCompareOneSidedBenchmarks(t *testing.T) {
+	base := report(map[string]float64{
+		"BenchmarkStreamingThroughput": 200000,
+		"BenchmarkRemoved":             1000,
+	})
+	pr := report(map[string]float64{
+		"BenchmarkStreamingThroughput": 210000,
+		"BenchmarkAdded":               5000,
+	})
+
+	// One-sided non-gated benchmarks are reported, not silently dropped,
+	// and do not fail the gate.
+	summary, err := compareReports(base, pr, "BenchmarkStreamingThroughput", 0.20)
+	if err != nil {
+		t.Fatalf("one-sided non-gated benchmarks failed the gate: %v", err)
+	}
+	if !strings.Contains(summary, "BenchmarkRemoved") || !strings.Contains(summary, "only in baseline") {
+		t.Fatalf("summary does not name the baseline-only benchmark:\n%s", summary)
+	}
+	if !strings.Contains(summary, "BenchmarkAdded") || !strings.Contains(summary, "only in PR") {
+		t.Fatalf("summary does not name the PR-only benchmark:\n%s", summary)
 	}
 
-	// A missing gated benchmark fails loudly.
-	if _, ok := compareReports(base, report(map[string]float64{"Other": 1}), "BenchmarkStreamingThroughput", 0.20); ok {
-		t.Fatal("missing gated benchmark passed")
+	// A gated benchmark present in only one report is the named missing
+	// error — not a zero-division, not a silent pass.
+	_, err = compareReports(base, report(map[string]float64{"Other": 1}), "BenchmarkStreamingThroughput", 0.20)
+	if !errors.Is(err, ErrBenchMissing) {
+		t.Fatalf("missing gated benchmark: err %v, want ErrBenchMissing", err)
+	}
+	_, err = compareReports(report(map[string]float64{"Other": 1}), pr, "BenchmarkStreamingThroughput", 0.20)
+	if !errors.Is(err, ErrBenchMissing) {
+		t.Fatalf("gate absent from baseline: err %v, want ErrBenchMissing", err)
+	}
+
+	// A zero (or negative/NaN-ish) baseline would make the ratio
+	// meaningless and the one-sided gate trivially pass — named error.
+	zeroBase := report(map[string]float64{"BenchmarkStreamingThroughput": 0})
+	summary, err = compareReports(zeroBase, pr, "BenchmarkStreamingThroughput", 0.20)
+	if !errors.Is(err, ErrZeroBaseline) {
+		t.Fatalf("zero baseline: err %v, want ErrZeroBaseline:\n%s", err, summary)
+	}
+	if !strings.Contains(summary, "n/a") {
+		t.Fatalf("zero-baseline row should render n/a, not a division:\n%s", summary)
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/model"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
 )
@@ -64,6 +65,7 @@ func run(args []string) error {
 	top := fs.Int("top", 20, "how many highest-scored lines to print (batch mode)")
 	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
 	seed := fs.Int64("seed", 1, "tuning seed")
+	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides)")
 	follow := fs.Bool("follow", false, "stream mode: score lines as they arrive, with session aggregation")
 	shards := fs.Int("shards", 1, "follow mode detector shards keyed by hash(user) (0 = GOMAXPROCS); follow mode scores line by line, so this costs a scorer replica per shard and buys parity with a sharded clmserve, not throughput")
 	user := fs.String("user", "stdin", "user attributed to plain-text lines in follow mode")
@@ -76,6 +78,16 @@ func run(args []string) error {
 		return err
 	}
 
+	// "" follows the bundle manifest (float64 on the legacy path); an
+	// explicit value is validated before anything loads.
+	var prec model.Precision
+	if *precision != "" {
+		var err error
+		if prec, err = model.ParsePrecision(*precision); err != nil {
+			return err
+		}
+	}
+
 	ids := commercial.Default()
 	var scorer tuning.Scorer
 	if *bundle != "" {
@@ -86,6 +98,11 @@ func run(args []string) error {
 			return err
 		}
 		scorer, *method = lb.Scorer, lb.Manifest.Method
+		if *precision != "" {
+			if err := tuning.SetScorerPrecision(scorer, prec); err != nil {
+				return err
+			}
+		}
 	} else {
 		// Fail a typoed method before the model loads and tuning starts.
 		if err := core.ValidateMethod(*method); err != nil {
@@ -104,7 +121,7 @@ func run(args []string) error {
 			return err
 		}
 		scorer, err = core.BuildScorer(pl, core.ScorerConfig{
-			Method: *method, Epochs: *epochs, Seed: *seed,
+			Method: *method, Epochs: *epochs, Seed: *seed, Precision: prec,
 		}, baseLines, labels)
 		if err != nil {
 			return err

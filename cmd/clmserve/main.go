@@ -57,6 +57,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof/* on the -pprof debug listener only
 	"os"
 	"os/signal"
 	"runtime"
@@ -67,6 +68,7 @@ import (
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/model"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
 )
@@ -96,11 +98,22 @@ func run(args []string) error {
 	queue := fs.Int("queue", 64, "bounded ingest queue per shard (requests); full queue blocks /score")
 	batch := fs.Int("batch", 512, "events coalesced per scoring batch per shard")
 	shards := fs.Int("shards", 0, "detector shards keyed by hash(user) (0 = GOMAXPROCS); each shard scores concurrently on its own scorer replica")
+	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides; applies at startup, reloads follow their bundle's manifest)")
+	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this extra debug listener (e.g. 127.0.0.1:6060); scoring, liveness, and readiness stay on -addr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards <= 0 {
 		*shards = runtime.GOMAXPROCS(0)
+	}
+	// "" means follow the bundle manifest (or float64 on the legacy path);
+	// validate an explicit value before any loading happens.
+	var prec model.Precision
+	if *precision != "" {
+		var err error
+		if prec, err = model.ParsePrecision(*precision); err != nil {
+			return err
+		}
 	}
 
 	agg, err := stream.ParseAggregation(*aggregation)
@@ -137,6 +150,24 @@ func run(args []string) error {
 	go func() { errc <- server.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "clmserve: listening on %s (not ready yet)\n", ln.Addr())
 
+	// Optional pprof debug listener, separate from the serving socket so
+	// profiling the hot path never contends with liveness/readiness or
+	// scoring routes. The net/http/pprof import registers its handlers on
+	// the DefaultServeMux, which only this listener serves.
+	if *pprofAddr != "" {
+		dln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			server.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		go func() {
+			if err := http.Serve(dln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "clmserve: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "clmserve: pprof debug listener on http://%s/debug/pprof/\n", dln.Addr())
+	}
+
 	// Register signals before the (potentially minutes-long) scorer
 	// build/load: SIGHUP's default disposition kills the process, so an
 	// early reload request must be queued for the serving loop below, not
@@ -154,8 +185,17 @@ func run(args []string) error {
 		}
 		scorer, version, *method = lb.Scorer, lb.Manifest.Version, lb.Manifest.Method
 		fmt.Fprintf(os.Stderr, "clmserve: loaded %s bundle %s (no tuning)\n", *method, version)
+		if *precision != "" {
+			// Startup override: rebind the serving engine before any
+			// replica exists; the head and backbone are untouched.
+			if err := tuning.SetScorerPrecision(scorer, prec); err != nil {
+				server.Close()
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "clmserve: serving at %s precision\n", prec)
+		}
 	} else {
-		scorer, err = buildScorerFromBaseline(*modelDir, *baseline, *method, *epochs, *seed)
+		scorer, err = buildScorerFromBaseline(*modelDir, *baseline, *method, *epochs, *seed, prec)
 		if err != nil {
 			server.Close()
 			return err
@@ -239,8 +279,9 @@ func run(args []string) error {
 }
 
 // buildScorerFromBaseline is the legacy warm start: load the pipeline and
-// tune the method head over the labeled baseline log.
-func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed int64) (tuning.Scorer, error) {
+// tune the method head over the labeled baseline log; prec selects the
+// serving engine's arithmetic rung (tuning itself always runs in float64).
+func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed int64, prec model.Precision) (tuning.Scorer, error) {
 	pl, err := core.LoadPipeline(modelDir)
 	if err != nil {
 		return nil, err
@@ -262,7 +303,7 @@ func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed
 	}
 	fmt.Fprintf(os.Stderr, "clmserve: building %s scorer over %d baseline lines...\n", method, len(baseLines))
 	return core.BuildScorer(pl, core.ScorerConfig{
-		Method: method, Epochs: epochs, Seed: seed,
+		Method: method, Epochs: epochs, Seed: seed, Precision: prec,
 	}, baseLines, labels)
 }
 

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clmids/internal/core"
+	"clmids/internal/model"
+	"clmids/internal/stream"
+	"clmids/internal/tuning"
+)
+
+// TestRunRejectsBadPrecision: a typoed -precision fails in milliseconds,
+// before any bundle or model loads.
+func TestRunRejectsBadPrecision(t *testing.T) {
+	err := run([]string{"-precision", "fp16", "-bundle", "/nonexistent", "-addr", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "unknown precision") {
+		t.Fatalf("bad precision: %v", err)
+	}
+}
+
+// TestRunRejectsBadPprofAddr: an unusable -pprof address fails startup
+// before the (potentially minutes-long) scorer load.
+func TestRunRejectsBadPprofAddr(t *testing.T) {
+	err := run([]string{"-pprof", "not-an-addr", "-bundle", "/nonexistent", "-addr", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "pprof listener") {
+		t.Fatalf("bad pprof addr: %v", err)
+	}
+}
+
+// TestPprofMuxIsolation: the net/http/pprof import registers its routes on
+// the DefaultServeMux (what the -pprof debug listener serves), while the
+// scoring handler's mux stays clean — profiling never rides the liveness/
+// readiness/scoring surface.
+func TestPprofMuxIsolation(t *testing.T) {
+	debug := httptest.NewServer(http.DefaultServeMux)
+	defer debug.Close()
+	resp, err := http.Get(debug.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug mux /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+
+	serving := httptest.NewServer(newHandler(newDaemon(""), 32))
+	defer serving.Close()
+	resp, err = http.Get(serving.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("serving mux leaked /debug/pprof/ (%d), want 404", resp.StatusCode)
+	}
+	// Liveness still answers on the serving mux.
+	resp, err = http.Get(serving.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d with pprof enabled elsewhere", resp.StatusCode)
+	}
+}
+
+// TestReloadSwapsPrecision: hot-reloading an int8 bundle over a float64
+// one swaps the serving precision shard-wide — the zero-downtime ladder
+// climb the bundle layer promises.
+func TestReloadSwapsPrecision(t *testing.T) {
+	f := getFixture(t)
+	// Own service (the shared fixture one is closed by the drain test):
+	// fresh replicas over the same frozen scorer, two shards.
+	replicas, err := core.ReplicateScorer(f.bs.Scorer, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := stream.NewShardedDetector(replicas, stream.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := stream.NewShardedService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64})
+	defer svc.Close()
+	d := newDaemon("")
+	d.attach(svc)
+	srv := httptest.NewServer(newHandler(d, 32))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	f.bs.Config.Precision = model.PrecisionInt8
+	man, err := core.SaveBundle(dir, f.pl, f.bs, "int8-swap-v1")
+	f.bs.Config.Precision = ""
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Precision != string(model.PrecisionInt8) {
+		t.Fatalf("manifest precision %q", man.Precision)
+	}
+	resp, err := http.Post(srv.URL+"/reload?bundle="+dir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload int8 bundle: %d", resp.StatusCode)
+	}
+	if got := svc.ScorerVersion(); got != man.Version {
+		t.Fatalf("version %q after int8 reload, want %q", got, man.Version)
+	}
+
+	// Scoring flows at the new rung.
+	resp, err = http.Post(srv.URL+"/score", "application/x-ndjson",
+		strings.NewReader(`{"user":"i8","time":5,"line":"ls -la /srv"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload /score %d", resp.StatusCode)
+	}
+
+	// The loaded bundle really serves int8 (spot-check via a fresh load).
+	lb, err := core.LoadScorerBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tuning.ScorerPrecision(lb.Scorer); p != model.PrecisionInt8 {
+		t.Fatalf("int8 bundle loads at %q", p)
+	}
+}

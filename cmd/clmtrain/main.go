@@ -59,11 +59,16 @@ func run(args []string) error {
 	method := fs.String("method", "retrieval", "bundle detection method: classifier | retrieval | reconstruction | pca")
 	bundleEpochs := fs.Int("bundle-epochs", 8, "bundle classifier tuning epochs")
 	bundleVersion := fs.String("bundle-version", "", "bundle version label (default: content-derived)")
+	precision := fs.String("precision", "", "bundle serve-path precision: float64 | float32 | int8 (low rungs add a quantized weight section; the head is trained in float64 either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate before the minutes of pre-training, not after.
+	prec, err := model.ParsePrecision(*precision)
+	if err != nil {
+		return err
+	}
 	if *bundle != "" {
-		// Validate before the minutes of pre-training, not after.
 		if err := core.ValidateMethod(*method); err != nil {
 			return err
 		}
@@ -124,7 +129,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("tuning %s head over %d baseline lines...\n", *method, len(baseLines))
 	bs, err := core.BuildScorerFull(pl, core.ScorerConfig{
-		Method: *method, Epochs: *bundleEpochs, Seed: *seed,
+		Method: *method, Epochs: *bundleEpochs, Seed: *seed, Precision: prec,
 	}, baseLines, labels)
 	if err != nil {
 		return err

@@ -41,10 +41,15 @@ import (
 const BundleFormat = "clmids-bundle v1"
 
 // File names inside a bundle directory (preprocessFile, tokenizerFile and
-// modelFile are shared with the pipeline layout in io.go).
+// modelFile are shared with the pipeline layout in io.go). quantFile only
+// exists in low-precision bundles (manifest Precision != float64): it
+// carries the backbone's pre-lowered serving weights — float32 mirrors,
+// or int8 channels + scales — so a cold start installs them instead of
+// re-converting, and the artifact pins the exact serving weights.
 const (
 	manifestFile = "manifest.json"
 	scorerFile   = "scorer.bin"
+	quantFile    = "quant.gob"
 )
 
 // BundleProvenance records where a bundle's supervision came from, so a
@@ -71,6 +76,11 @@ type BundleManifest struct {
 	Method string `json:"method"`
 	// Config is the ScorerConfig the head was built with.
 	Config ScorerConfig `json:"config"`
+	// Precision is the serve-path rung the bundle was emitted for; empty
+	// or "float64" means the canonical path (no quantized section). Low
+	// rungs add the quant.gob section holding the lowered backbone
+	// weights, and loading builds the scorer's engine at this precision.
+	Precision string `json:"precision,omitempty"`
 	// CreatedUnix is the save time (informational; not part of Version).
 	CreatedUnix int64            `json:"created_unix"`
 	Provenance  BundleProvenance `json:"provenance"`
@@ -97,6 +107,10 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 		return nil, fmt.Errorf("core: creating %s: %w", dir, err)
 	}
 
+	prec := bs.Config.Precision
+	if !prec.Valid() {
+		return nil, fmt.Errorf("core: unknown precision %q", prec)
+	}
 	sections := []struct {
 		name string
 		save func(*bytes.Buffer) error
@@ -106,6 +120,23 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 		{modelFile, func(b *bytes.Buffer) error { return bs.Backbone.Save(b) }},
 		{scorerFile, func(b *bytes.Buffer) error { return tuning.SaveScorerHead(b, bs.Scorer) }},
 	}
+	if prec.Low() {
+		// The quantized section is derived deterministically from the
+		// float64 backbone (Lowered caches the conversion), so re-saving
+		// reproduces identical bytes and the content-derived version is
+		// stable across float64 and low-precision emissions of the same
+		// training run only differing in this section.
+		sections = append(sections, struct {
+			name string
+			save func(*bytes.Buffer) error
+		}{quantFile, func(b *bytes.Buffer) error {
+			lw, err := bs.Backbone.Encoder.Lowered(prec)
+			if err != nil {
+				return err
+			}
+			return model.SaveLowWeights(b, lw)
+		}})
+	}
 	m := &BundleManifest{
 		Format:      BundleFormat,
 		Version:     version,
@@ -114,6 +145,9 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 		CreatedUnix: time.Now().Unix(),
 		Provenance:  bs.Provenance,
 		Checksums:   make(map[string]string, len(sections)),
+	}
+	if prec.Low() {
+		m.Precision = string(prec)
 	}
 	for _, s := range sections {
 		var buf bytes.Buffer
@@ -171,8 +205,9 @@ type LoadedBundle struct {
 // manifest format and every section checksum, then deserializes the
 // backbone, tokenizer, and head into the same LRU-cached engine-backed
 // scorer BuildScorer would have produced — no baseline corpus, no tuning.
-// Scores from the loaded scorer are byte-identical to the freshly built
-// one's.
+// Scores from a float64 bundle are byte-identical to the freshly built
+// scorer's; a low-precision bundle additionally installs its quantized
+// section into the backbone and serves at the manifest's precision.
 func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	mj, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
@@ -188,12 +223,20 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	if err := ValidateMethod(m.Method); err != nil {
 		return nil, fmt.Errorf("core: bundle manifest: %w", err)
 	}
+	prec, err := model.ParsePrecision(m.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("core: bundle manifest: %w", err)
+	}
 
 	// Read and verify every section before deserializing any of them: a
 	// truncated or tampered file fails with a checksum error naming the
 	// section, not a decoder panic deep inside gob.
-	raw := make(map[string][]byte, 4)
-	for _, name := range []string{preprocessFile, tokenizerFile, modelFile, scorerFile} {
+	names := []string{preprocessFile, tokenizerFile, modelFile, scorerFile}
+	if prec.Low() {
+		names = append(names, quantFile)
+	}
+	raw := make(map[string][]byte, len(names))
+	for _, name := range names {
 		want, ok := m.Checksums[name]
 		if !ok {
 			return nil, fmt.Errorf("core: bundle manifest lists no checksum for %s", name)
@@ -220,7 +263,22 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	if lb.Model, err = model.Load(bytes.NewReader(raw[modelFile])); err != nil {
 		return nil, fmt.Errorf("core: bundle %s: %w", modelFile, err)
 	}
-	scorer, method, err := tuning.LoadScorerHead(bytes.NewReader(raw[scorerFile]), lb.Model.Encoder, lb.Tok)
+	if prec.Low() {
+		lw, err := model.LoadLowWeights(bytes.NewReader(raw[quantFile]))
+		if err != nil {
+			return nil, fmt.Errorf("core: bundle %s: %w", quantFile, err)
+		}
+		if lw.Precision() != prec {
+			return nil, fmt.Errorf("core: bundle %s is %s but manifest says %s",
+				quantFile, lw.Precision(), prec)
+		}
+		// Install the pinned serving weights; the engine built below finds
+		// them in the encoder's cache instead of re-lowering.
+		if err := lb.Model.Encoder.SetLowered(lw); err != nil {
+			return nil, fmt.Errorf("core: bundle %s: %w", quantFile, err)
+		}
+	}
+	scorer, method, err := tuning.LoadScorerHeadPrec(bytes.NewReader(raw[scorerFile]), lb.Model.Encoder, lb.Tok, prec)
 	if err != nil {
 		return nil, fmt.Errorf("core: bundle %s: %w", scorerFile, err)
 	}

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"clmids/internal/nn"
 	"clmids/internal/tensor"
@@ -45,6 +46,12 @@ type Encoder struct {
 	PosEmb  *nn.Embedding
 	EmbNorm *nn.LayerNorm
 	Blocks  []*Block
+
+	// lowered caches the reduced-precision serving weights per rung (see
+	// precision.go); it is built lazily once the weights are frozen and
+	// never invalidated.
+	lowMu   sync.Mutex
+	lowered map[Precision]*LowWeights
 }
 
 // NewEncoder constructs a randomly initialized encoder.

@@ -12,6 +12,7 @@ import (
 // so steady-state scoring through InferForward allocates nothing.
 type InferScratch struct {
 	cfg       Config
+	prec      Precision
 	maxTokens int
 
 	// Token-major activation buffers, capacity maxTokens rows. x carries
@@ -22,19 +23,43 @@ type InferScratch struct {
 	// scores holds one head's post-softmax attention matrix, capacity
 	// MaxSeqLen².
 	scores []float64
+
+	// Float32 mirrors of the buffers above, allocated instead of the
+	// float64 set on the low-precision rungs (see infer32.go).
+	x32, q32, k32, v32, attn32, resid32 *tensor.Matrix32
+	ff32                                *tensor.Matrix32
+	scores32                            []float32
+	// kt32/vh32 are the attention kernel's per-head panel scratch
+	// (transposed K, gathered V), capacity MaxSeqLen·headDim.
+	kt32, vh32 []float32
+	// qs is the int8 rung's activation-quantization scratch.
+	qs tensor.QuantScratch
 }
 
 // NewInferScratch allocates an arena able to run batches of up to maxTokens
 // total tokens (raised to cfg.MaxSeqLen so one full-length line always
-// fits).
+// fits), on the canonical float64 rung.
 func NewInferScratch(cfg Config, maxTokens int) *InferScratch {
-	s := &InferScratch{cfg: cfg}
+	return NewInferScratchPrec(cfg, maxTokens, PrecisionFloat64)
+}
+
+// NewInferScratchPrec allocates an arena for the given precision rung: the
+// float64 buffer set for PrecisionFloat64, the float32 set (plus the int8
+// quantization scratch when needed) for the low rungs.
+func NewInferScratchPrec(cfg Config, maxTokens int, prec Precision) *InferScratch {
+	if prec == "" {
+		prec = PrecisionFloat64
+	}
+	s := &InferScratch{cfg: cfg, prec: prec}
 	s.grow(maxTokens)
 	return s
 }
 
 // MaxTokens reports the current token capacity.
 func (s *InferScratch) MaxTokens() int { return s.maxTokens }
+
+// Precision reports the rung the scratch was built for.
+func (s *InferScratch) Precision() Precision { return s.prec }
 
 // grow (re)allocates every buffer for a token capacity of at least n.
 func (s *InferScratch) grow(n int) {
@@ -45,6 +70,27 @@ func (s *InferScratch) grow(n int) {
 		return
 	}
 	s.maxTokens = n
+	if s.prec.Low() {
+		s.x32 = tensor.NewMatrix32(n, s.cfg.Hidden)
+		s.q32 = tensor.NewMatrix32(n, s.cfg.Hidden)
+		s.k32 = tensor.NewMatrix32(n, s.cfg.Hidden)
+		s.v32 = tensor.NewMatrix32(n, s.cfg.Hidden)
+		s.attn32 = tensor.NewMatrix32(n, s.cfg.Hidden)
+		s.resid32 = tensor.NewMatrix32(n, s.cfg.Hidden)
+		s.ff32 = tensor.NewMatrix32(n, s.cfg.FFN)
+		s.scores32 = make([]float32, s.cfg.MaxSeqLen*s.cfg.MaxSeqLen)
+		headDim := s.cfg.Hidden / s.cfg.Heads
+		s.kt32 = make([]float32, s.cfg.MaxSeqLen*headDim)
+		s.vh32 = make([]float32, s.cfg.MaxSeqLen*headDim)
+		if s.prec == PrecisionInt8 {
+			w := s.cfg.Hidden
+			if s.cfg.FFN > w {
+				w = s.cfg.FFN
+			}
+			s.qs.EnsureQuant(w, w)
+		}
+		return
+	}
 	s.x = tensor.NewMatrix(n, s.cfg.Hidden)
 	s.q = tensor.NewMatrix(n, s.cfg.Hidden)
 	s.k = tensor.NewMatrix(n, s.cfg.Hidden)
@@ -75,6 +121,9 @@ func (e *Encoder) InferForward(batch Batch, s *InferScratch) (*tensor.Matrix, er
 	}
 	if s.cfg != e.cfg {
 		return nil, fmt.Errorf("model: scratch built for %+v, encoder is %+v", s.cfg, e.cfg)
+	}
+	if s.prec.Low() {
+		return nil, fmt.Errorf("model: scratch is %s; use InferForward32", s.prec)
 	}
 	if err := batch.Validate(e.cfg.VocabSize, e.cfg.MaxSeqLen); err != nil {
 		return nil, err
@@ -129,8 +178,18 @@ func (e *Encoder) InferForward(batch Batch, s *InferScratch) (*tensor.Matrix, er
 
 // InferEmbedInto mean-pools the tape-free hidden states into dst rows
 // [dstRow, dstRow+batch.Size()) — the inference-path equivalent of
-// EmbedLines for one batch.
+// EmbedLines for one batch. The forward pass runs at the scratch's
+// precision rung; dst rows are always canonical float64, so downstream
+// consumers (embedding LRU, detector heads) never see precision.
 func (e *Encoder) InferEmbedInto(batch Batch, s *InferScratch, dst *tensor.Matrix, dstRow int) error {
+	if s != nil && s.prec.Low() {
+		h, err := e.InferForward32(batch, s)
+		if err != nil {
+			return err
+		}
+		tensor.InferMeanPoolInto32(h, batch.Lens, dst, dstRow)
+		return nil
+	}
 	h, err := e.InferForward(batch, s)
 	if err != nil {
 		return err
@@ -141,15 +200,32 @@ func (e *Encoder) InferEmbedInto(batch Batch, s *InferScratch, dst *tensor.Matri
 
 // InferCLSInto writes each sequence's [CLS] hidden state into dst rows
 // [dstRow, dstRow+batch.Size()) — the inference-path equivalent of
-// CLSTensor for one batch.
+// CLSTensor for one batch. Like InferEmbedInto it runs at the scratch's
+// precision and widens into the float64 dst.
 func (e *Encoder) InferCLSInto(batch Batch, s *InferScratch, dst *tensor.Matrix, dstRow int) error {
-	h, err := e.InferForward(batch, s)
-	if err != nil {
-		return err
-	}
 	if dst.Cols != e.cfg.Hidden || dstRow < 0 || dstRow+batch.Size() > dst.Rows {
 		return fmt.Errorf("model: InferCLSInto dst %dx%d cannot hold %d rows at %d",
 			dst.Rows, dst.Cols, batch.Size(), dstRow)
+	}
+	if s != nil && s.prec.Low() {
+		h, err := e.InferForward32(batch, s)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for i, l := range batch.Lens {
+			src := h.Row(off)
+			out := dst.Row(dstRow + i)
+			for j, v := range src {
+				out[j] = float64(v)
+			}
+			off += l
+		}
+		return nil
+	}
+	h, err := e.InferForward(batch, s)
+	if err != nil {
+		return err
 	}
 	off := 0
 	for i, l := range batch.Lens {

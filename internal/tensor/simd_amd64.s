@@ -1,0 +1,587 @@
+// AVX2/FMA and AVX-512 VNNI kernels for the low-precision serve path (see
+// simd_amd64.go). The float64 kernels are deliberately NOT implemented
+// here: float64 is the bitwise-golden path and stays pure Go.
+
+#include "textflag.h"
+
+// 8-lane float32 constant vectors for the exp core.
+DATA explo<>+0(SB)/4, $0xC2AE0000 // -87
+DATA explo<>+4(SB)/4, $0xC2AE0000
+DATA explo<>+8(SB)/4, $0xC2AE0000
+DATA explo<>+12(SB)/4, $0xC2AE0000
+DATA explo<>+16(SB)/4, $0xC2AE0000
+DATA explo<>+20(SB)/4, $0xC2AE0000
+DATA explo<>+24(SB)/4, $0xC2AE0000
+DATA explo<>+28(SB)/4, $0xC2AE0000
+GLOBL explo<>(SB), RODATA, $32
+
+DATA exphi<>+0(SB)/4, $0x42B00000 // 88
+DATA exphi<>+4(SB)/4, $0x42B00000
+DATA exphi<>+8(SB)/4, $0x42B00000
+DATA exphi<>+12(SB)/4, $0x42B00000
+DATA exphi<>+16(SB)/4, $0x42B00000
+DATA exphi<>+20(SB)/4, $0x42B00000
+DATA exphi<>+24(SB)/4, $0x42B00000
+DATA exphi<>+28(SB)/4, $0x42B00000
+GLOBL exphi<>(SB), RODATA, $32
+
+DATA expp7<>+0(SB)/4, $0x39500D01 // 1/5040
+DATA expp7<>+4(SB)/4, $0x39500D01
+DATA expp7<>+8(SB)/4, $0x39500D01
+DATA expp7<>+12(SB)/4, $0x39500D01
+DATA expp7<>+16(SB)/4, $0x39500D01
+DATA expp7<>+20(SB)/4, $0x39500D01
+DATA expp7<>+24(SB)/4, $0x39500D01
+DATA expp7<>+28(SB)/4, $0x39500D01
+GLOBL expp7<>(SB), RODATA, $32
+
+DATA expp6<>+0(SB)/4, $0x3AB60B61 // 1/720
+DATA expp6<>+4(SB)/4, $0x3AB60B61
+DATA expp6<>+8(SB)/4, $0x3AB60B61
+DATA expp6<>+12(SB)/4, $0x3AB60B61
+DATA expp6<>+16(SB)/4, $0x3AB60B61
+DATA expp6<>+20(SB)/4, $0x3AB60B61
+DATA expp6<>+24(SB)/4, $0x3AB60B61
+DATA expp6<>+28(SB)/4, $0x3AB60B61
+GLOBL expp6<>(SB), RODATA, $32
+
+DATA expp5<>+0(SB)/4, $0x3C088889 // 1/120
+DATA expp5<>+4(SB)/4, $0x3C088889
+DATA expp5<>+8(SB)/4, $0x3C088889
+DATA expp5<>+12(SB)/4, $0x3C088889
+DATA expp5<>+16(SB)/4, $0x3C088889
+DATA expp5<>+20(SB)/4, $0x3C088889
+DATA expp5<>+24(SB)/4, $0x3C088889
+DATA expp5<>+28(SB)/4, $0x3C088889
+GLOBL expp5<>(SB), RODATA, $32
+
+DATA expp4<>+0(SB)/4, $0x3D2AAAAB // 1/24
+DATA expp4<>+4(SB)/4, $0x3D2AAAAB
+DATA expp4<>+8(SB)/4, $0x3D2AAAAB
+DATA expp4<>+12(SB)/4, $0x3D2AAAAB
+DATA expp4<>+16(SB)/4, $0x3D2AAAAB
+DATA expp4<>+20(SB)/4, $0x3D2AAAAB
+DATA expp4<>+24(SB)/4, $0x3D2AAAAB
+DATA expp4<>+28(SB)/4, $0x3D2AAAAB
+GLOBL expp4<>(SB), RODATA, $32
+
+DATA expp3<>+0(SB)/4, $0x3E2AAAAB // 1/6
+DATA expp3<>+4(SB)/4, $0x3E2AAAAB
+DATA expp3<>+8(SB)/4, $0x3E2AAAAB
+DATA expp3<>+12(SB)/4, $0x3E2AAAAB
+DATA expp3<>+16(SB)/4, $0x3E2AAAAB
+DATA expp3<>+20(SB)/4, $0x3E2AAAAB
+DATA expp3<>+24(SB)/4, $0x3E2AAAAB
+DATA expp3<>+28(SB)/4, $0x3E2AAAAB
+GLOBL expp3<>(SB), RODATA, $32
+
+// EXPCORE: Y0 = e^Y0 (clamped to [-87, 88]) using the same range
+// reduction and degree-7 polynomial as fastExp32, 8 lanes at a time.
+// Clobbers Y1-Y3. Requires Y8=invLn2, Y9=magic(1.5·2²³), Y10=c1, Y11=c2,
+// Y12=1.0 (whose bits are also the 127<<23 exponent bias), Y13=0.5.
+#define EXPCORE \
+	VMAXPS explo<>(SB), Y0, Y0   \
+	VMINPS exphi<>(SB), Y0, Y0   \
+	VMOVAPS Y0, Y1               \
+	VFMADD132PS Y8, Y9, Y1       \ // Y1 = x·invLn2 + magic (k in low mantissa)
+	VSUBPS Y9, Y1, Y2            \ // Y2 = float(k)
+	VFNMADD231PS Y10, Y2, Y0     \ // x -= k·c1
+	VFNMADD231PS Y11, Y2, Y0     \ // x -= k·c2 → r
+	VMOVUPS expp7<>(SB), Y3      \
+	VFMADD213PS expp6<>(SB), Y0, Y3 \
+	VFMADD213PS expp5<>(SB), Y0, Y3 \
+	VFMADD213PS expp4<>(SB), Y0, Y3 \
+	VFMADD213PS expp3<>(SB), Y0, Y3 \
+	VFMADD213PS Y13, Y0, Y3      \ // ·r + 1/2
+	VFMADD213PS Y12, Y0, Y3      \ // ·r + 1
+	VFMADD213PS Y12, Y0, Y3      \ // ·r + 1
+	VCVTTPS2DQ Y2, Y2            \ // k (exact: Y2 is integral)
+	VPSLLD $23, Y2, Y2           \
+	VPADDD Y12, Y2, Y2           \ // 2^k bits (bias add = 1.0f bits)
+	VMULPS Y2, Y3, Y0
+
+// 4-byte scalar constants, broadcast at kernel entry.
+DATA cinvln2<>+0(SB)/4, $0x3FB8AA3B // 1.442695
+GLOBL cinvln2<>(SB), RODATA, $4
+
+DATA cmagic<>+0(SB)/4, $0x4B400000 // 1.5·2²³
+GLOBL cmagic<>(SB), RODATA, $4
+
+DATA cc1<>+0(SB)/4, $0x3F318000 // 0.693359375
+GLOBL cc1<>(SB), RODATA, $4
+
+DATA cc2<>+0(SB)/4, $0xB95E8083 // -2.12194440e-4
+GLOBL cc2<>(SB), RODATA, $4
+
+DATA cone<>+0(SB)/4, $0x3F800000 // 1.0
+GLOBL cone<>(SB), RODATA, $4
+
+DATA chalf<>+0(SB)/4, $0x3F000000 // 0.5
+GLOBL chalf<>(SB), RODATA, $4
+
+DATA ctwo<>+0(SB)/4, $0x40000000 // 2.0
+GLOBL ctwo<>(SB), RODATA, $4
+
+DATA cgeluc<>+0(SB)/4, $0x3F4C422A // √(2/π)
+GLOBL cgeluc<>(SB), RODATA, $4
+
+DATA cgelua<>+0(SB)/4, $0x3D372713 // 0.044715
+GLOBL cgelua<>(SB), RODATA, $4
+
+// EXPSETUP loads the shared exp constants into Y8-Y13.
+#define EXPSETUP \
+	VBROADCASTSS cinvln2<>(SB), Y8 \
+	VBROADCASTSS cmagic<>(SB), Y9  \
+	VBROADCASTSS cc1<>(SB), Y10    \
+	VBROADCASTSS cc2<>(SB), Y11    \
+	VBROADCASTSS cone<>(SB), Y12   \
+	VBROADCASTSS chalf<>(SB), Y13
+
+// func x86HasAVX2FMA() bool
+//
+// CPUID.1:ECX must report FMA (bit 12), OSXSAVE (bit 27) and AVX (bit 28);
+// XGETBV(0) must show XMM+YMM state enabled (bits 1:2); CPUID.7.0:EBX must
+// report AVX2 (bit 5).
+TEXT ·x86HasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  no
+	MOVL $1, AX
+	CPUID
+	MOVL CX, DI
+	ANDL $(1<<27 | 1<<28 | 1<<12), DI
+	CMPL DI, $(1<<27 | 1<<28 | 1<<12)
+	JNE  no
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	TESTL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func x86HasAVX512VNNI() bool
+//
+// Requires OSXSAVE with full ZMM/opmask state (XCR0[7:5] and [2:1]),
+// AVX512F (CPUID.7.0:EBX[16]), AVX512BW (EBX[30]) for the ZMM-width
+// VPMOVSXBW, and AVX512_VNNI (CPUID.7.0:ECX[11]).
+TEXT ·x86HasAVX512VNNI(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  vno
+	MOVL $1, AX
+	CPUID
+	TESTL $(1<<27), CX
+	JZ   vno
+	MOVL $0, CX
+	XGETBV
+	ANDL $0xE6, AX
+	CMPL AX, $0xE6
+	JNE  vno
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	MOVL BX, DI
+	ANDL $(1<<16 | 1<<30), DI
+	CMPL DI, $(1<<16 | 1<<30)
+	JNE  vno
+	TESTL $(1<<11), CX
+	JZ   vno
+	MOVB $1, ret+0(FP)
+	RET
+
+vno:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func f32MatVecAsm(a, b, out []float32)
+//
+// out[j] += Σ_k a[k]·b[k·N+j], K = len(a), N = len(out). Columns are
+// processed in strips of 32/16/8/4 lanes (four/two/one YMM, one XMM
+// accumulator) with a scalar tail; each strip streams the b panel once,
+// broadcasting one a element per k and issuing memory-operand FMAs.
+TEXT ·f32MatVecAsm(SB), NOSPLIT, $0-72
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), R8
+	MOVQ b_base+24(FP), DI
+	MOVQ out_base+48(FP), DX
+	MOVQ out_len+56(FP), R9
+	TESTQ R8, R8
+	JZ   done
+	MOVQ R9, R13
+	SHLQ $2, R13          // b row stride in bytes
+	XORQ R10, R10         // j0
+
+strip32:
+	MOVQ R9, AX
+	SUBQ R10, AX
+	CMPQ AX, $32
+	JLT  strip16
+	LEAQ (DX)(R10*4), BX
+	VMOVUPS (BX), Y0
+	VMOVUPS 32(BX), Y1
+	VMOVUPS 64(BX), Y2
+	VMOVUPS 96(BX), Y3
+	LEAQ (DI)(R10*4), R11
+	XORQ R12, R12
+
+loop32:
+	VBROADCASTSS (SI)(R12*4), Y4
+	VFMADD231PS (R11), Y4, Y0
+	VFMADD231PS 32(R11), Y4, Y1
+	VFMADD231PS 64(R11), Y4, Y2
+	VFMADD231PS 96(R11), Y4, Y3
+	ADDQ R13, R11
+	INCQ R12
+	CMPQ R12, R8
+	JLT  loop32
+	VMOVUPS Y0, (BX)
+	VMOVUPS Y1, 32(BX)
+	VMOVUPS Y2, 64(BX)
+	VMOVUPS Y3, 96(BX)
+	ADDQ $32, R10
+	JMP  strip32
+
+strip16:
+	MOVQ R9, AX
+	SUBQ R10, AX
+	CMPQ AX, $16
+	JLT  strip8
+	LEAQ (DX)(R10*4), BX
+	VMOVUPS (BX), Y0
+	VMOVUPS 32(BX), Y1
+	LEAQ (DI)(R10*4), R11
+	XORQ R12, R12
+
+loop16:
+	VBROADCASTSS (SI)(R12*4), Y4
+	VFMADD231PS (R11), Y4, Y0
+	VFMADD231PS 32(R11), Y4, Y1
+	ADDQ R13, R11
+	INCQ R12
+	CMPQ R12, R8
+	JLT  loop16
+	VMOVUPS Y0, (BX)
+	VMOVUPS Y1, 32(BX)
+	ADDQ $16, R10
+
+strip8:
+	MOVQ R9, AX
+	SUBQ R10, AX
+	CMPQ AX, $8
+	JLT  strip4
+	LEAQ (DX)(R10*4), BX
+	VMOVUPS (BX), Y0
+	LEAQ (DI)(R10*4), R11
+	XORQ R12, R12
+
+loop8:
+	VBROADCASTSS (SI)(R12*4), Y4
+	VFMADD231PS (R11), Y4, Y0
+	ADDQ R13, R11
+	INCQ R12
+	CMPQ R12, R8
+	JLT  loop8
+	VMOVUPS Y0, (BX)
+	ADDQ $8, R10
+
+strip4:
+	MOVQ R9, AX
+	SUBQ R10, AX
+	CMPQ AX, $4
+	JLT  scalarj
+	LEAQ (DX)(R10*4), BX
+	VMOVUPS (BX), X0
+	LEAQ (DI)(R10*4), R11
+	XORQ R12, R12
+
+loop4:
+	VBROADCASTSS (SI)(R12*4), X4
+	VFMADD231PS (R11), X4, X0
+	ADDQ R13, R11
+	INCQ R12
+	CMPQ R12, R8
+	JLT  loop4
+	VMOVUPS X0, (BX)
+	ADDQ $4, R10
+
+scalarj:
+	CMPQ R10, R9
+	JGE  done
+	VMOVSS (DX)(R10*4), X0
+	LEAQ (DI)(R10*4), R11
+	XORQ R12, R12
+
+scalark:
+	VMOVSS (SI)(R12*4), X1
+	VFMADD231SS (R11), X1, X0
+	ADDQ R13, R11
+	INCQ R12
+	CMPQ R12, R8
+	JLT  scalark
+	VMOVSS X0, (DX)(R10*4)
+	INCQ R10
+	JMP  scalarj
+
+done:
+	VZEROUPPER
+	RET
+
+// func int8MatVecAVX2(qa []int16, wt []int8, acc []int32)
+//
+// Blocked channel-pair layout (see Int8Matrix): per 16-channel block, each
+// k-pair contributes 32 consecutive weight bytes (channel-major pairs).
+// The kernel broadcasts the activation pair as one dword, sign-extends the
+// weight pairs, and VPMADDWD+VPADDD accumulates 8 channels per YMM — no
+// horizontal reduction anywhere.
+TEXT ·int8MatVecAVX2(SB), NOSPLIT, $0-72
+	MOVQ qa_base+0(FP), SI
+	MOVQ qa_len+8(FP), R8    // KPad
+	MOVQ wt_base+24(FP), DI
+	MOVQ acc_base+48(FP), DX
+	MOVQ acc_len+56(FP), R9  // NPad
+	MOVQ R8, R14
+	SHLQ $1, R14             // qa byte length
+	SHRQ $4, R9              // 16-channel blocks
+	TESTQ R9, R9
+	JZ   done
+
+blockloop:
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	XORQ R12, R12            // qa byte offset
+
+kloop:
+	VPBROADCASTD (SI)(R12*1), Y2
+	VPMOVSXBW (DI), Y3
+	VPMOVSXBW 16(DI), Y4
+	VPMADDWD Y2, Y3, Y3
+	VPMADDWD Y2, Y4, Y4
+	VPADDD Y3, Y0, Y0
+	VPADDD Y4, Y1, Y1
+	ADDQ $32, DI
+	ADDQ $4, R12
+	CMPQ R12, R14
+	JLT  kloop
+	VMOVDQU Y0, (DX)
+	VMOVDQU Y1, 32(DX)
+	ADDQ $64, DX
+	DECQ R9
+	JNZ  blockloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func int8MatVecVNNI(qa []int16, wt []int8, acc []int32)
+//
+// Same contract and layout as int8MatVecAVX2, fused onto AVX-512
+// VPDPWSSD: one instruction multiplies a k-pair across 16 channels and
+// accumulates into the int32 lanes. Two k-pairs per iteration keep two
+// independent accumulator chains.
+TEXT ·int8MatVecVNNI(SB), NOSPLIT, $0-72
+	MOVQ qa_base+0(FP), SI
+	MOVQ qa_len+8(FP), R8
+	MOVQ wt_base+24(FP), DI
+	MOVQ acc_base+48(FP), DX
+	MOVQ acc_len+56(FP), R9
+	MOVQ R8, R14
+	SHLQ $1, R14
+	SHRQ $4, R9
+	TESTQ R9, R9
+	JZ   done
+
+blockloop:
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	XORQ R12, R12
+
+kloop:
+	VPBROADCASTD (SI)(R12*1), Z2
+	VPBROADCASTD 4(SI)(R12*1), Z3
+	VPMOVSXBW (DI), Z4
+	VPMOVSXBW 32(DI), Z5
+	VPDPWSSD Z4, Z2, Z0
+	VPDPWSSD Z5, Z3, Z1
+	ADDQ $64, DI
+	ADDQ $8, R12
+	CMPQ R12, R14
+	JLT  kloop
+	VPADDD Z1, Z0, Z0
+	VMOVDQU32 Z0, (DX)
+	ADDQ $64, DX
+	DECQ R9
+	JNZ  blockloop
+
+done:
+	VZEROUPPER
+	RET
+
+// 8-lane abs mask.
+DATA cabs<>+0(SB)/4, $0x7FFFFFFF
+DATA cabs<>+4(SB)/4, $0x7FFFFFFF
+DATA cabs<>+8(SB)/4, $0x7FFFFFFF
+DATA cabs<>+12(SB)/4, $0x7FFFFFFF
+DATA cabs<>+16(SB)/4, $0x7FFFFFFF
+DATA cabs<>+20(SB)/4, $0x7FFFFFFF
+DATA cabs<>+24(SB)/4, $0x7FFFFFFF
+DATA cabs<>+28(SB)/4, $0x7FFFFFFF
+GLOBL cabs<>(SB), RODATA, $32
+
+// func maxAbs32Asm(v []float32) float32
+//
+// Returns max_i |v[i]|; len(v) must be a multiple of 8 and nonzero.
+TEXT ·maxAbs32Asm(SB), NOSPLIT, $0-28
+	MOVQ v_base+0(FP), SI
+	MOVQ v_len+8(FP), R8
+	VXORPS Y0, Y0, Y0
+	VMOVUPS cabs<>(SB), Y2
+	SHRQ $3, R8
+
+maloop:
+	VMOVUPS (SI), Y1
+	VANDPS Y2, Y1, Y1
+	VMAXPS Y1, Y0, Y0
+	ADDQ $32, SI
+	DECQ R8
+	JNZ  maloop
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VMAXPS X1, X0, X0
+	VPSHUFD $0xB1, X0, X1
+	VMAXPS X1, X0, X0
+	VMOVSS X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func quantRow32Asm(x []float32, inv float32, qa []int16)
+//
+// qa[i] = int16(round-to-nearest(x[i]·inv)); len(x) must be a multiple of
+// 8 (qa at least as long). Rounding is MXCSR nearest-even, which may
+// differ from the scalar fallback's half-away-from-zero by one step at
+// exact ties — inside the quantization error bound either way.
+TEXT ·quantRow32Asm(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), R8
+	VBROADCASTSS inv+24(FP), Y2
+	MOVQ qa_base+32(FP), DI
+	SHRQ $3, R8
+
+qrloop:
+	VMOVUPS (SI), Y0
+	VMULPS Y2, Y0, Y0
+	VCVTPS2DQ Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSDW X1, X0, X0
+	VMOVDQU X0, (DI)
+	ADDQ $32, SI
+	ADDQ $16, DI
+	DECQ R8
+	JNZ  qrloop
+	VZEROUPPER
+	RET
+
+// func dequantRow32Asm(acc []int32, scales []float32, rowScale float32, bias, out []float32)
+//
+// out[j] = float32(acc[j])·rowScale·scales[j] + bias[j]; len(out) must be
+// a multiple of 8, acc/scales/bias at least as long.
+TEXT ·dequantRow32Asm(SB), NOSPLIT, $0-104
+	MOVQ acc_base+0(FP), SI
+	MOVQ scales_base+24(FP), R10
+	VBROADCASTSS rowScale+48(FP), Y2
+	MOVQ bias_base+56(FP), R11
+	MOVQ out_base+80(FP), DI
+	MOVQ out_len+88(FP), R8
+	SHRQ $3, R8
+
+dqloop:
+	VCVTDQ2PS (SI), Y0
+	VMULPS Y2, Y0, Y0
+	VMULPS (R10), Y0, Y0
+	VADDPS (R11), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, DI
+	DECQ R8
+	JNZ  dqloop
+	VZEROUPPER
+	RET
+
+// func expShiftAsm(v []float32, shift float32)
+//
+// v[i] = exp(v[i] - shift), 8 lanes per iteration; len(v) must be a
+// multiple of 8 (the Go wrapper owns the tail).
+TEXT ·expShiftAsm(SB), NOSPLIT, $0-28
+	MOVQ v_base+0(FP), SI
+	MOVQ v_len+8(FP), R8
+	TESTQ R8, R8
+	JZ   edone
+	EXPSETUP
+	VBROADCASTSS shift+24(FP), Y6
+	SHRQ $3, R8
+
+eloop:
+	VMOVUPS (SI), Y0
+	VSUBPS Y6, Y0, Y0
+	EXPCORE
+	VMOVUPS Y0, (SI)
+	ADDQ $32, SI
+	DECQ R8
+	JNZ  eloop
+
+edone:
+	VZEROUPPER
+	RET
+
+// func gelu32Asm(v []float32)
+//
+// v[i] = 0.5·v·(1 + tanh(√(2/π)·(v + 0.044715·v³))) with
+// tanh(u) = 1 − 2/(e^{2u}+1); len(v) must be a multiple of 8.
+TEXT ·gelu32Asm(SB), NOSPLIT, $0-24
+	MOVQ v_base+0(FP), SI
+	MOVQ v_len+8(FP), R8
+	TESTQ R8, R8
+	JZ   gdone
+	EXPSETUP
+	VBROADCASTSS ctwo<>(SB), Y14
+	VBROADCASTSS cgeluc<>(SB), Y15
+	VBROADCASTSS cgelua<>(SB), Y7
+	SHRQ $3, R8
+
+gloop:
+	VMOVUPS (SI), Y5             // v
+	VMULPS Y5, Y5, Y0            // v²
+	VMULPS Y5, Y0, Y0            // v³
+	VMULPS Y7, Y0, Y0            // a·v³
+	VADDPS Y5, Y0, Y0            // v + a·v³
+	VMULPS Y15, Y0, Y0           // u
+	VADDPS Y0, Y0, Y0            // 2u
+	EXPCORE                      // e^{2u}
+	VADDPS Y12, Y0, Y0           // e+1
+	VDIVPS Y0, Y14, Y1           // 2/(e+1)
+	VSUBPS Y1, Y12, Y1           // tanh(u)
+	VADDPS Y12, Y1, Y1           // 1+tanh
+	VMULPS Y13, Y1, Y1           // ·0.5
+	VMULPS Y5, Y1, Y1            // ·v
+	VMOVUPS Y1, (SI)
+	ADDQ $32, SI
+	DECQ R8
+	JNZ  gloop
+
+gdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,111 @@
+package tensor
+
+// Pure-Go reference implementations of the low-precision SIMD kernels.
+// They are the portable fallback and the oracle the assembly is tested
+// against (same contract; float comparisons associativity-tolerant,
+// integer comparisons exact).
+
+// f32MatVecGo accumulates out[j] += Σ_k a[k]·b[k·N+j], K = len(a),
+// N = len(out), walking b row-major with four k-rows register-blocked —
+// the scalar shape of the float64 matMulRows inner kernel.
+func f32MatVecGo(a, b, out []float32) {
+	n := len(out)
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		a0, a1, a2, a3 := a[k], a[k+1], a[k+2], a[k+3]
+		b0 := b[k*n : (k+1)*n : (k+1)*n]
+		b1 := b[(k+1)*n : (k+2)*n : (k+2)*n]
+		b2 := b[(k+2)*n : (k+3)*n : (k+3)*n]
+		b3 := b[(k+3)*n : (k+4)*n : (k+4)*n]
+		for j := range out {
+			s := out[j]
+			s += a0 * b0[j]
+			s += a1 * b1[j]
+			s += a2 * b2[j]
+			s += a3 * b3[j]
+			out[j] = s
+		}
+	}
+	for ; k < len(a); k++ {
+		av := a[k]
+		brow := b[k*n : (k+1)*n : (k+1)*n]
+		for j, bv := range brow {
+			out[j] += av * bv
+		}
+	}
+}
+
+// int8MatVecGo computes acc[j] = Σ_k qa[k]·wt(k,j) in int32 over the
+// blocked channel-pair weight layout (see Int8Matrix): block jb holds
+// channels jb·16..jb·16+15, 32 consecutive bytes carry one k-pair across
+// the block's 16 channels, channel-major within the pair.
+func int8MatVecGo(qa []int16, wt []int8, acc []int32) {
+	kPad := len(qa)
+	for jb := 0; jb < len(acc)/int8NPadAlign; jb++ {
+		block := wt[jb*kPad*int8NPadAlign : (jb+1)*kPad*int8NPadAlign]
+		arow := acc[jb*int8NPadAlign : (jb+1)*int8NPadAlign]
+		for jl := range arow {
+			var s int32
+			off := jl * 2
+			for k := 0; k < kPad; k += 2 {
+				s += int32(qa[k])*int32(block[k*int8NPadAlign+off]) +
+					int32(qa[k+1])*int32(block[k*int8NPadAlign+off+1])
+			}
+			arow[jl] = s
+		}
+	}
+}
+
+// maxAbs32Tail folds the remaining elements into a running max-abs.
+func maxAbs32Tail(v []float32, m float32) float32 {
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// quantRow32Tail is the scalar quantizer (round half away from zero).
+func quantRow32Tail(x []float32, inv float32, qa []int16) {
+	for i, v := range x {
+		r := v * inv
+		if r >= 0 {
+			qa[i] = int16(r + 0.5)
+		} else {
+			qa[i] = int16(r - 0.5)
+		}
+	}
+}
+
+// dequantRow32Tail is the scalar dequantizer; bias may be nil.
+func dequantRow32Tail(acc []int32, scales []float32, rowScale float32, bias, out []float32) {
+	if bias != nil {
+		for j := range out {
+			out[j] = float32(acc[j])*rowScale*scales[j] + bias[j]
+		}
+		return
+	}
+	for j := range out {
+		out[j] = float32(acc[j]) * rowScale * scales[j]
+	}
+}
+
+// expShiftGo applies v[i] = fastExp32(v[i] - shift) in place.
+func expShiftGo(v []float32, shift float32) {
+	for i, x := range v {
+		v[i] = fastExp32(x - shift)
+	}
+}
+
+// geluGo applies the tanh-approximated GELU in place via fastTanh32.
+func geluGo(x []float32) {
+	c := float32(geluConst)
+	for i, v := range x {
+		u := c * (v + 0.044715*v*v*v)
+		x[i] = 0.5 * v * (1 + fastTanh32(u))
+	}
+}

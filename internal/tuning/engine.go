@@ -51,6 +51,13 @@ type EngineConfig struct {
 	// normalized lines per feature kind (0 disables; negative also
 	// disables).
 	CacheLines int
+	// Precision selects the serve-path arithmetic rung (the zero value is
+	// float64, the canonical path). On the low rungs every worker scratch
+	// is a float32 arena and the encoder's weights are lowered once at
+	// engine construction; embeddings leaving the engine — and therefore
+	// everything the LRU caches — stay canonical float64, so cache hits
+	// and verdict aggregation are precision-stable.
+	Precision model.Precision
 }
 
 // DefaultEngineConfig returns the deployment defaults: tape-path batch
@@ -73,14 +80,40 @@ func NewEngine(enc *model.Encoder, tok *bpe.Tokenizer, cfg EngineConfig) *Engine
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Precision == "" {
+		cfg.Precision = model.PrecisionFloat64
+	}
 	e := &Engine{enc: enc, tok: tok, cfg: cfg}
+	if cfg.Precision.Low() {
+		// Lower (and on int8, quantize) the frozen weights once, up front:
+		// scoring never pays conversion cost and never races on it.
+		if _, err := enc.Lowered(cfg.Precision); err != nil {
+			panic(fmt.Sprintf("tuning: lowering encoder to %s: %v", cfg.Precision, err))
+		}
+	} else if !cfg.Precision.Valid() {
+		panic(fmt.Sprintf("tuning: unknown engine precision %q", cfg.Precision))
+	}
 	e.pool.New = func() any {
-		return model.NewInferScratch(enc.Config(), cfg.BatchTokens)
+		return model.NewInferScratchPrec(enc.Config(), cfg.BatchTokens, cfg.Precision)
 	}
 	if cfg.CacheLines > 0 {
 		e.cache = newLRUCache(cfg.CacheLines)
 	}
 	return e
+}
+
+// Precision reports the engine's serve-path arithmetic rung.
+func (e *Engine) Precision() model.Precision { return e.cfg.Precision }
+
+// WithPrecision returns a fresh engine over the same frozen encoder and
+// tokenizer with the same configuration except the precision rung — the
+// construction serving paths use to honor a requested precision on a
+// scorer whose head was trained (always) in float64. Like Clone, the new
+// engine owns its scratch pool, LRU cache, and counters.
+func (e *Engine) WithPrecision(p model.Precision) *Engine {
+	cfg := e.cfg
+	cfg.Precision = p
+	return NewEngine(e.enc, e.tok, cfg)
 }
 
 // Clone returns a fresh engine over the same frozen encoder and tokenizer

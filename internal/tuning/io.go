@@ -130,6 +130,17 @@ func SaveScorerHead(w io.Writer, s Scorer) error {
 // and is Replicable, exactly like a freshly built one. The method name is
 // returned so callers can cross-check it against manifest metadata.
 func LoadScorerHead(r io.Reader, enc *model.Encoder, tok *bpe.Tokenizer) (Scorer, string, error) {
+	return LoadScorerHeadPrec(r, enc, tok, model.PrecisionFloat64)
+}
+
+// LoadScorerHeadPrec is LoadScorerHead with the serving engine built at
+// the given precision rung — the restore half of quantized bundles. The
+// head itself is precision-free (it was trained, and is applied, in
+// float64); only the backbone forward runs at prec.
+func LoadScorerHeadPrec(r io.Reader, enc *model.Encoder, tok *bpe.Tokenizer, prec model.Precision) (Scorer, string, error) {
+	if !prec.Valid() {
+		return nil, "", fmt.Errorf("tuning: unknown precision %q", prec)
+	}
 	var snap headSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, "", fmt.Errorf("tuning: decoding scorer head: %w", err)
@@ -137,7 +148,9 @@ func LoadScorerHead(r io.Reader, enc *model.Encoder, tok *bpe.Tokenizer) (Scorer
 	if snap.Format != headFormat {
 		return nil, "", fmt.Errorf("tuning: unknown scorer-head format %q", snap.Format)
 	}
-	engine := NewEngine(enc, tok, DefaultEngineConfig())
+	ecfg := DefaultEngineConfig()
+	ecfg.Precision = prec
+	engine := NewEngine(enc, tok, ecfg)
 	hidden := enc.Config().Hidden
 	switch snap.Method {
 	case MethodClassifier:

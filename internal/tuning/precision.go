@@ -1,0 +1,78 @@
+package tuning
+
+import (
+	"fmt"
+
+	"clmids/internal/model"
+)
+
+// Scorer precision plumbing. Heads are always trained in float64 (so two
+// bundles of the same seed carry identical heads regardless of serve
+// precision); the precision rung is a property of the serving engine only.
+// SetScorerPrecision rebinds a built scorer's engine to a different rung —
+// the frozen backbone, trained head, and fitted artifacts are untouched,
+// and the engine's embedding LRU starts empty (cached rows are float64
+// either way, but rows computed at different rungs differ in the low bits,
+// so a swap never mixes provenance within one cache).
+
+// ScorerPrecision reports the serving-engine precision of s, or false for
+// scorer types without an engine.
+func ScorerPrecision(s Scorer) (model.Precision, bool) {
+	if e := engineOf(s); e != nil {
+		return e.Precision(), true
+	}
+	return "", false
+}
+
+// SetScorerPrecision swaps s's serving engine for a fresh one at precision
+// p (same engine configuration otherwise). It must be called before the
+// scorer starts serving — the swap is not synchronized against concurrent
+// Score calls; hot paths swap whole scorers via the stream layer's
+// SwapScorer instead.
+func SetScorerPrecision(s Scorer, p model.Precision) error {
+	if !p.Valid() {
+		return fmt.Errorf("tuning: unknown precision %q", p)
+	}
+	e := engineOf(s)
+	if e == nil {
+		return fmt.Errorf("tuning: scorer %T has no serving engine to set precision on", s)
+	}
+	if p == "" {
+		p = model.PrecisionFloat64
+	}
+	if e.Precision() == p {
+		return nil
+	}
+	swapEngine(s, e.WithPrecision(p))
+	return nil
+}
+
+// engineOf returns the serving engine of the four method scorers.
+func engineOf(s Scorer) *Engine {
+	switch sc := s.(type) {
+	case *Classifier:
+		return sc.engine
+	case *RetrievalScorer:
+		return sc.engine
+	case *ReconsTuner:
+		return sc.engine
+	case *PCAScorer:
+		return sc.engine
+	}
+	return nil
+}
+
+// swapEngine installs e into s; callers have already matched the type via
+// engineOf.
+func swapEngine(s Scorer, e *Engine) {
+	switch sc := s.(type) {
+	case *Classifier:
+		sc.engine = e
+	case *RetrievalScorer:
+		sc.engine = e
+	case *ReconsTuner:
+		sc.engine = e
+	case *PCAScorer:
+		sc.engine = e
+	}
+}
