@@ -42,10 +42,20 @@
 // its coalescing worker, and a scorer replica sharing the frozen backbone
 // weights, so shards score concurrently while per-user event order — and
 // every verdict — stays identical to the unsharded detector. When a
-// shard's worker falls behind, /score blocks (HTTP-level backpressure)
-// instead of buffering unboundedly. On SIGINT/SIGTERM the daemon stops
-// accepting requests, drains every queued event on every shard through
-// the detector, and exits.
+// shard's worker falls behind, -overload decides what /score does: block
+// (HTTP-level backpressure through TCP, the default), shed (429 +
+// Retry-After), or degrade (keep accepting and downshift saturated shards
+// down the precision ladder, recovering on calm — see internal/stream).
+// A malformed NDJSON line yields a per-line error record in the response
+// stream; the connection and every well-formed line keep scoring.
+//
+// With -checkpoint the daemon periodically snapshots every per-user
+// session window to the named file (atomic rename), restores it at
+// startup, and writes a final snapshot after draining — a restart resumes
+// mid-chain sessions and trips the same alarms an uninterrupted run would.
+// On SIGINT/SIGTERM the daemon stops accepting requests, drains every
+// queued event on every shard through the detector, checkpoints, and
+// exits.
 package main
 
 import (
@@ -97,6 +107,11 @@ func run(args []string) error {
 	maxLines := fs.Int("max-session-lines", 64, "sliding window length per session")
 	queue := fs.Int("queue", 64, "bounded ingest queue per shard (requests); full queue blocks /score")
 	batch := fs.Int("batch", 512, "events coalesced per scoring batch per shard")
+	overload := fs.String("overload", "block", "full-queue policy: block (backpressure) | shed (429 + Retry-After) | degrade (downshift saturated shards down the precision ladder, recover on calm)")
+	degradeAfter := fs.Duration("degrade-after", 2*time.Second, "sustained saturation before the degrade policy downshifts a shard one precision rung")
+	recoverAfter := fs.Duration("recover-after", 15*time.Second, "sustained calm before a degraded shard shifts one rung back up")
+	checkpoint := fs.String("checkpoint", "", "session checkpoint file: restored at startup, rewritten every -checkpoint-interval and after draining (empty disables)")
+	ckptInterval := fs.Duration("checkpoint-interval", time.Minute, "how often to rewrite the session checkpoint")
 	shards := fs.Int("shards", 0, "detector shards keyed by hash(user) (0 = GOMAXPROCS); each shard scores concurrently on its own scorer replica")
 	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides; applies at startup, reloads follow their bundle's manifest)")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this extra debug listener (e.g. 127.0.0.1:6060); scoring, liveness, and readiness stay on -addr")
@@ -105,6 +120,10 @@ func run(args []string) error {
 	}
 	if *shards <= 0 {
 		*shards = runtime.GOMAXPROCS(0)
+	}
+	overloadPolicy, err := stream.ParseOverloadPolicy(*overload)
+	if err != nil {
+		return err
 	}
 	// "" means follow the bundle manifest (or float64 on the legacy path);
 	// validate an explicit value before any loading happens.
@@ -215,8 +234,31 @@ func run(args []string) error {
 		return err
 	}
 	sharded.SetScorerVersion(version)
-	svc := stream.NewShardedService(sharded,
-		stream.ServiceConfig{QueueRequests: *queue, BatchEvents: *batch})
+	svc := stream.NewShardedService(sharded, stream.ServiceConfig{
+		QueueRequests: *queue,
+		BatchEvents:   *batch,
+		Overload:      overloadPolicy,
+		DegradeAfter:  *degradeAfter,
+		RecoverAfter:  *recoverAfter,
+	})
+
+	// Restore the previous run's sessions before any traffic: a missing
+	// checkpoint is a cold start, a corrupt or incompatible one is logged
+	// and skipped (serving fresh beats not serving).
+	if *checkpoint != "" {
+		if f, err := os.Open(*checkpoint); err == nil {
+			rerr := svc.RestoreSessions(f)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "clmserve: checkpoint %s not restored (%v); starting fresh\n", *checkpoint, rerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "clmserve: restored %d sessions from %s\n",
+					svc.Stats().ActiveSessions, *checkpoint)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "clmserve: checkpoint %s unreadable (%v); starting fresh\n", *checkpoint, err)
+		}
+	}
 	d.attach(svc)
 
 	// Periodic idle-session sweep bounds memory across a large user
@@ -240,7 +282,22 @@ func run(args []string) error {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving on %s (%d shards)\n", *method, ln.Addr(), *shards)
+	// Periodic session checkpoint: atomic (tmp + rename), so a crash
+	// mid-write leaves the previous snapshot intact.
+	if *checkpoint != "" {
+		ckptTick := time.NewTicker(*ckptInterval)
+		defer ckptTick.Stop()
+		go func() {
+			for range ckptTick.C {
+				if err := writeCheckpointFile(svc, *checkpoint); err != nil {
+					fmt.Fprintf(os.Stderr, "clmserve: checkpoint: %v\n", err)
+				}
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving on %s (%d shards, overload=%s)\n",
+		*method, ln.Addr(), *shards, overloadPolicy)
 
 	for {
 		select {
@@ -270,12 +327,42 @@ func run(args []string) error {
 				server.Close()
 			}
 			svc.Close() // drain queued requests through the detector
+			if *checkpoint != "" {
+				// Checkpoint after the drain: every accepted event is in the
+				// snapshot, so the next start resumes exactly here.
+				if err := writeCheckpointFile(svc, *checkpoint); err != nil {
+					fmt.Fprintf(os.Stderr, "clmserve: final checkpoint: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "clmserve: checkpointed sessions to %s\n", *checkpoint)
+				}
+			}
 			st := svc.Stats()
 			fmt.Fprintf(os.Stderr, "clmserve: drained; %d events scored, %d session alerts\n",
 				st.Events, st.SessionAlerts)
 			return nil
 		}
 	}
+}
+
+// writeCheckpointFile snapshots the service's sessions to path atomically:
+// a full write to path+".tmp", then rename, so readers (and the next
+// startup) only ever see complete, checksum-valid snapshots.
+func writeCheckpointFile(svc *stream.Service, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := svc.SaveSessions(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // buildScorerFromBaseline is the legacy warm start: load the pipeline and
@@ -423,18 +510,24 @@ func newHandler(d *daemon, chunk int) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	// Readiness: route traffic here only once the scorer serves.
+	// Readiness: route traffic here only once the scorer serves. A shard
+	// held below native precision by the degrade policy is still ready —
+	// degraded capacity beats no capacity — but the state is surfaced so
+	// operators and probes can see it.
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		svc, ok := d.service()
 		if !ok {
 			http.Error(w, "loading", http.StatusServiceUnavailable)
 			return
 		}
+		line := "ready"
 		if v := svc.ScorerVersion(); v != "" {
-			fmt.Fprintf(w, "ready %s\n", v)
-			return
+			line += " " + v
 		}
-		fmt.Fprintln(w, "ready")
+		if n := svc.DegradedShards(); n > 0 {
+			line += fmt.Sprintf(" degraded=%d", n)
+		}
+		fmt.Fprintln(w, line)
 	})
 	return mux
 }
@@ -442,7 +535,12 @@ func newHandler(d *daemon, chunk int) http.Handler {
 // handleScore streams NDJSON events through the service in chunks,
 // writing NDJSON verdicts back as each chunk completes. Submitting chunk
 // by chunk (rather than slurping the body) keeps memory bounded and
-// propagates queue backpressure to the client through TCP.
+// propagates queue backpressure to the client through TCP. A malformed
+// line costs that line, not the connection: the stream carries a per-line
+// error record in its place and keeps scoring; one bad producer among the
+// fleet's log shippers must not sever everyone sharing the pipe. Overload
+// rejections (shed policy) map to 429 + Retry-After while the response is
+// still unstarted, in-band error records afterwards.
 func handleScore(svc *stream.Service, chunk int, w http.ResponseWriter, r *http.Request) {
 	if chunk <= 0 {
 		chunk = 512
@@ -460,11 +558,19 @@ func handleScore(svc *stream.Service, chunk int, w http.ResponseWriter, r *http.
 	events := make([]stream.Event, 0, chunk)
 	lineNo, wrote := 0, false
 	flush := func() bool {
-		verdicts, err := svc.Submit(events)
+		if len(events) == 0 {
+			return true
+		}
+		verdicts, err := svc.SubmitContext(r.Context(), events)
 		events = events[:0]
 		if err != nil {
 			if !wrote {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				status := http.StatusServiceUnavailable
+				if errors.Is(err, stream.ErrOverloaded) {
+					status = http.StatusTooManyRequests
+					w.Header().Set("Retry-After", "1")
+				}
+				http.Error(w, err.Error(), status)
 				return false
 			}
 			// Headers are already out; surface the error in-band.
@@ -488,13 +594,18 @@ func handleScore(svc *stream.Service, chunk int, w http.ResponseWriter, r *http.
 		}
 		var ev stream.Event
 		if err := json.Unmarshal(raw, &ev); err != nil {
-			if !wrote {
-				http.Error(w, fmt.Sprintf("line %d: %v", lineNo, err), http.StatusBadRequest)
+			// Flush pending events first so the error record lands in input
+			// order, then keep going: the line is lost, the stream is not.
+			if !flush() {
 				return
 			}
-			enc.Encode(map[string]string{"error": fmt.Sprintf("line %d: %v", lineNo, err)})
+			enc.Encode(map[string]any{
+				"error": fmt.Sprintf("line %d: %v", lineNo, err),
+				"line":  lineNo,
+			})
 			out.Flush()
-			return
+			wrote = true
+			continue
 		}
 		if ev.Time == 0 {
 			ev.Time = time.Now().Unix()

@@ -131,24 +131,46 @@ func TestScoreEndpointNDJSON(t *testing.T) {
 	}
 }
 
+// TestScoreEndpointMalformedLineNumber: a malformed NDJSON line yields a
+// per-line error record naming its line number — and the stream keeps
+// scoring: the well-formed lines before and after it all get verdicts.
 func TestScoreEndpointMalformedLineNumber(t *testing.T) {
 	f := getFixture(t)
 	srv := httptest.NewServer(newHandler(f.ready(), 32))
 	defer srv.Close()
 
-	body := `{"user":"u","time":1,"line":"ls"}` + "\n" + `{"user":` + "\n"
+	body := `{"user":"u","time":1,"line":"ls"}` + "\n" +
+		`{"user":` + "\n" +
+		`{"user":"u","time":2,"line":"pwd"}` + "\n"
 	resp, err := http.Post(srv.URL+"/score", "application/x-ndjson", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("status %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
 	}
-	buf := make([]byte, 256)
-	n, _ := resp.Body.Read(buf)
-	if got := string(buf[:n]); !strings.Contains(got, "line 2") {
-		t.Fatalf("error %q does not name line 2", got)
+	var verdicts, errRecs int
+	scn := bufio.NewScanner(resp.Body)
+	for scn.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(scn.Bytes(), &rec); err != nil {
+			t.Fatalf("unparseable response line %q: %v", scn.Text(), err)
+		}
+		if msg, ok := rec["error"].(string); ok {
+			errRecs++
+			if !strings.Contains(msg, "line 2") {
+				t.Fatalf("error %q does not name line 2", msg)
+			}
+			if ln, ok := rec["line"].(float64); !ok || int(ln) != 2 {
+				t.Fatalf("error record line field = %v, want 2", rec["line"])
+			}
+			continue
+		}
+		verdicts++
+	}
+	if verdicts != 2 || errRecs != 1 {
+		t.Fatalf("got %d verdicts and %d error records, want 2 and 1", verdicts, errRecs)
 	}
 }
 

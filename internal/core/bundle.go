@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -39,6 +40,13 @@ import (
 // BundleFormat identifies the on-disk bundle layout; LoadScorerBundle
 // rejects manifests written by a different major format.
 const BundleFormat = "clmids-bundle v1"
+
+// ErrBundleCorrupt flags a bundle that failed integrity verification — an
+// unparseable manifest, a section with no checksum, or a section whose
+// bytes do not match it. Callers (the /reload path, fault drills)
+// distinguish "artifact damaged, keep the old scorer" from configuration
+// errors with errors.Is.
+var ErrBundleCorrupt = errors.New("core: bundle corrupt")
 
 // File names inside a bundle directory (preprocessFile, tokenizerFile and
 // modelFile are shared with the pipeline layout in io.go). quantFile only
@@ -190,6 +198,20 @@ func deriveVersion(checksums map[string]string) string {
 	return hex.EncodeToString(h.Sum(nil))[:12]
 }
 
+// SectionFiles lists the data files a manifest's bundle is made of, in
+// layout order, manifest.json excluded — the surface a fault drill can
+// corrupt or truncate to exercise the load-time verification.
+func SectionFiles(m *BundleManifest) []string {
+	names := []string{preprocessFile, tokenizerFile, modelFile, scorerFile}
+	if model.Precision(m.Precision).Low() {
+		names = append(names, quantFile)
+	}
+	return names
+}
+
+// ManifestFile is the manifest's file name inside a bundle directory.
+const ManifestFile = manifestFile
+
 // LoadedBundle is a bundle restored for serving: every artifact plus the
 // ready-to-score engine-backed scorer (Replicable, so sharded services
 // fan it out with ReplicateScorer as usual).
@@ -215,7 +237,7 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	}
 	var m BundleManifest
 	if err := json.Unmarshal(mj, &m); err != nil {
-		return nil, fmt.Errorf("core: parsing bundle manifest: %w", err)
+		return nil, fmt.Errorf("%w: parsing manifest: %v", ErrBundleCorrupt, err)
 	}
 	if m.Format != BundleFormat {
 		return nil, fmt.Errorf("core: unknown bundle format %q (this build reads %q)", m.Format, BundleFormat)
@@ -239,7 +261,7 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	for _, name := range names {
 		want, ok := m.Checksums[name]
 		if !ok {
-			return nil, fmt.Errorf("core: bundle manifest lists no checksum for %s", name)
+			return nil, fmt.Errorf("%w: manifest lists no checksum for %s", ErrBundleCorrupt, name)
 		}
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -247,8 +269,8 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 		}
 		sum := sha256.Sum256(data)
 		if got := hex.EncodeToString(sum[:]); got != want {
-			return nil, fmt.Errorf("core: bundle section %s checksum mismatch (manifest %s, file %s)",
-				name, want[:12], got[:12])
+			return nil, fmt.Errorf("%w: section %s checksum mismatch (manifest %s, file %s)",
+				ErrBundleCorrupt, name, want[:12], got[:12])
 		}
 		raw[name] = data
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"clmids/internal/commercial"
 	"clmids/internal/corpus"
+	"clmids/internal/faults"
 )
 
 // bundleFixture is one tiny trained pipeline plus a labeled baseline and
@@ -262,5 +264,84 @@ func TestValidateMethod(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "classifier") ||
 		!strings.Contains(err.Error(), "pca") {
 		t.Fatalf("invalid method error does not list valid ones: %v", err)
+	}
+}
+
+// TestBundleCorruptTyped: every integrity failure — any section flipped or
+// torn, a mangled manifest — is errors.Is(…, ErrBundleCorrupt), so callers
+// (clmserve /reload) can distinguish "artifact damaged, keep the old scorer"
+// from operational errors. A format-version mismatch is deliberately NOT
+// corruption: that is a deployment skew, reported separately.
+func TestBundleCorruptTyped(t *testing.T) {
+	f := getBundleFixture(t)
+	bs, err := BuildScorerFull(f.pl, ScorerConfig{Method: "pca", Seed: 1}, f.baseLines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := t.TempDir()
+	m, err := SaveBundle(src, f.pl, bs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := SectionFiles(m)
+	if len(secs) != 4 {
+		t.Fatalf("float64 bundle SectionFiles = %v, want 4 sections", secs)
+	}
+
+	for _, sec := range secs {
+		for damage, apply := range map[string]func(string, string, string) error{
+			"corrupt":  faults.CorruptBundleCopy,
+			"truncate": faults.TruncateBundleCopy,
+		} {
+			dst := filepath.Join(t.TempDir(), damage+"-"+sec)
+			if err := apply(src, dst, sec); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadScorerBundle(dst); !errors.Is(err, ErrBundleCorrupt) {
+				t.Errorf("%s %s: error %v, want ErrBundleCorrupt", damage, sec, err)
+			}
+		}
+	}
+
+	// Mangled manifest → corrupt.
+	dst := filepath.Join(t.TempDir(), "mangled")
+	if err := faults.CorruptBundleCopy(src, dst, secs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, ManifestFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScorerBundle(dst); !errors.Is(err, ErrBundleCorrupt) {
+		t.Errorf("mangled manifest: error %v, want ErrBundleCorrupt", err)
+	}
+
+	// Format skew → a different failure class, not corruption.
+	skew := filepath.Join(t.TempDir(), "skew")
+	if err := faults.TruncateBundleCopy(src, skew, secs[0]); err != nil {
+		t.Fatal(err)
+	}
+	mj, err := os.ReadFile(filepath.Join(src, ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skewed BundleManifest
+	if err := json.Unmarshal(mj, &skewed); err != nil {
+		t.Fatal(err)
+	}
+	skewed.Format = "clmids-bundle v99"
+	out, err := json.Marshal(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(skew, ManifestFile), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScorerBundle(skew); err == nil || errors.Is(err, ErrBundleCorrupt) {
+		t.Errorf("format skew misclassified as corruption: %v", err)
+	}
+
+	// The pristine bundle still loads — the damage helpers copy, not mutate.
+	if _, err := LoadScorerBundle(src); err != nil {
+		t.Errorf("pristine bundle no longer loads: %v", err)
 	}
 }

@@ -1,0 +1,277 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"clmids/internal/tuning"
+)
+
+// flatScorer returns a constant score; the simplest possible inner scorer.
+type flatScorer struct{ score float64 }
+
+func (f *flatScorer) Score(inputs []string) ([]float64, error) {
+	out := make([]float64, len(inputs))
+	for i := range out {
+		out[i] = f.score
+	}
+	return out, nil
+}
+
+func (f *flatScorer) Replicate() tuning.Scorer { c := *f; return &c }
+
+// TestScheduleDeterministic: the same seed faults the same call numbers,
+// run after run; a different seed faults different ones.
+func TestScheduleDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		ctl := NewControl()
+		sc := &Scorer{Inner: &flatScorer{score: 0.5}, Ctl: ctl, Seed: seed, ErrEvery: 5}
+		got := make([]bool, 0, 30)
+		for i := 0; i < 30; i++ {
+			_, err := sc.Score([]string{"x"})
+			got = append(got, err != nil)
+		}
+		return got
+	}
+	a, b := pattern(3), pattern(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i+1)
+		}
+	}
+	faulted := 0
+	for i, f := range a {
+		if f {
+			faulted++
+			// ErrEvery=5, Seed=3 → calls where n%5 == 3: calls 3, 8, 13, …
+			if (i+1)%5 != 3 {
+				t.Fatalf("seed 3 faulted call %d, want n%%5==3", i+1)
+			}
+		}
+	}
+	if faulted != 6 {
+		t.Fatalf("seed 3 faulted %d of 30 calls, want 6", faulted)
+	}
+	c := pattern(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same fault pattern")
+	}
+}
+
+// TestErrInjectedWrapped: scheduled errors are ErrInjected, so drills can
+// tell injected failures from real bugs.
+func TestErrInjectedWrapped(t *testing.T) {
+	sc := &Scorer{Inner: &flatScorer{}, Ctl: NewControl(), ErrEvery: 1}
+	_, err := sc.Score([]string{"x"})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error %v does not wrap ErrInjected", err)
+	}
+}
+
+// TestClearPassthrough: after Clear, no schedule fires and the call counter
+// stops; Arm turns the faults back on.
+func TestClearPassthrough(t *testing.T) {
+	ctl := NewControl()
+	sc := &Scorer{Inner: &flatScorer{score: 0.7}, Ctl: ctl, ErrEvery: 1}
+	if _, err := sc.Score([]string{"x"}); err == nil {
+		t.Fatal("armed every-call schedule did not fire")
+	}
+	ctl.Clear()
+	callsBefore := ctl.Calls()
+	for i := 0; i < 10; i++ {
+		scores, err := sc.Score([]string{"x"})
+		if err != nil {
+			t.Fatalf("cleared injector still faulting: %v", err)
+		}
+		if scores[0] != 0.7 {
+			t.Fatalf("cleared injector altered scores: %v", scores)
+		}
+	}
+	if ctl.Calls() != callsBefore {
+		t.Fatal("cleared injector still counting calls")
+	}
+	ctl.Arm()
+	if _, err := sc.Score([]string{"x"}); err == nil {
+		t.Fatal("re-armed injector did not fault")
+	}
+}
+
+// TestPanicSchedules: PanicEvery and PanicSubstring panic as promised.
+func TestPanicSchedules(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	every := &Scorer{Inner: &flatScorer{}, Ctl: NewControl(), PanicEvery: 1}
+	mustPanic("PanicEvery=1", func() { every.Score([]string{"ls"}) })
+
+	poison := &Scorer{Inner: &flatScorer{}, Ctl: NewControl(), PanicSubstring: "POISON"}
+	if _, err := poison.Score([]string{"ls", "pwd"}); err != nil {
+		t.Fatalf("clean input faulted: %v", err)
+	}
+	mustPanic("PanicSubstring", func() { poison.Score([]string{"ls", "run POISON now"}) })
+}
+
+// TestReplicasShareControl: replicas advance one shared call counter, so an
+// every-Nth schedule holds across the fleet rather than per replica.
+func TestReplicasShareControl(t *testing.T) {
+	ctl := NewControl()
+	base := &Scorer{Inner: &flatScorer{}, Ctl: ctl, ErrEvery: 2}
+	rep := base.Replicate().(*Scorer)
+	if rep.Ctl != ctl {
+		t.Fatal("replica has its own Control")
+	}
+	errs := 0
+	for i := 0; i < 10; i++ {
+		sc := tuning.Scorer(base)
+		if i%2 == 1 {
+			sc = rep
+		}
+		if _, err := sc.Score([]string{"x"}); err != nil {
+			errs++
+		}
+	}
+	if ctl.Calls() != 10 {
+		t.Fatalf("shared counter saw %d calls, want 10", ctl.Calls())
+	}
+	if errs != 5 {
+		t.Fatalf("every-2nd schedule fired %d of 10 across replicas, want 5", errs)
+	}
+}
+
+// TestGateBlocksAndReleases: a held gate blocks Score; Release unblocks
+// every waiter; an open gate costs nothing.
+func TestGateBlocksAndReleases(t *testing.T) {
+	gate := &Gate{}
+	sc := gate.Wrap(&flatScorer{score: 0.3})
+	if _, err := sc.Score([]string{"x"}); err != nil {
+		t.Fatalf("open gate blocked: %v", err)
+	}
+
+	gate.Hold()
+	const waiters = 3
+	done := make(chan struct{}, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc.Score([]string{"x"})
+			done <- struct{}{}
+		}()
+	}
+	select {
+	case <-done:
+		t.Fatal("held gate let a Score call through")
+	case <-time.After(20 * time.Millisecond):
+	}
+	gate.Release()
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Release did not unblock all waiters")
+	}
+
+	// Replicas share the gate.
+	rep := sc.(tuning.Replicable).Replicate()
+	gate.Hold()
+	repDone := make(chan struct{})
+	go func() { rep.Score([]string{"x"}); close(repDone) }()
+	select {
+	case <-repDone:
+		t.Fatal("replica ignored the shared gate")
+	case <-time.After(20 * time.Millisecond):
+	}
+	gate.Release()
+	select {
+	case <-repDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica never unblocked")
+	}
+}
+
+// writeFlatDir lays down a synthetic flat "bundle" for the damage helpers.
+func writeFlatDir(t *testing.T, files map[string][]byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestCorruptBundleCopy: the copy differs from the source in exactly one
+// byte of the named section; other files copy verbatim; the source is
+// untouched.
+func TestCorruptBundleCopy(t *testing.T) {
+	src := writeFlatDir(t, map[string][]byte{
+		"model.bin": []byte("0123456789"),
+		"other.txt": []byte("leave me alone"),
+	})
+	dst := filepath.Join(t.TempDir(), "corrupt")
+	if err := CorruptBundleCopy(src, dst, "model.bin"); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := os.ReadFile(filepath.Join(src, "model.bin"))
+	if string(orig) != "0123456789" {
+		t.Fatal("source bundle mutated")
+	}
+	got, err := os.ReadFile(filepath.Join(dst, "model.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if len(got) != len(orig) || diff != 1 {
+		t.Fatalf("corrupt copy differs in %d bytes (len %d vs %d), want exactly 1", diff, len(got), len(orig))
+	}
+	other, _ := os.ReadFile(filepath.Join(dst, "other.txt"))
+	if string(other) != "leave me alone" {
+		t.Fatal("unrelated file altered")
+	}
+}
+
+// TestTruncateBundleCopy: the named section is cut in half; the source is
+// untouched.
+func TestTruncateBundleCopy(t *testing.T) {
+	src := writeFlatDir(t, map[string][]byte{"model.bin": []byte("0123456789")})
+	dst := filepath.Join(t.TempDir(), "torn")
+	if err := TruncateBundleCopy(src, dst, "model.bin"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, "model.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("truncated section = %q, want first half", got)
+	}
+	orig, _ := os.ReadFile(filepath.Join(src, "model.bin"))
+	if string(orig) != "0123456789" {
+		t.Fatal("source bundle mutated")
+	}
+}

@@ -1,0 +1,290 @@
+package stream
+
+// Crash-safe session checkpoints. A restarted detector loses every per-user
+// sliding window — and with them exactly the multi-line attack chains the
+// session aggregator exists to catch. SaveSessions serializes the session
+// state deterministically; RestoreSessions rebuilds it, so a restart (or a
+// fleet handoff) resumes mid-chain sessions and trips the same alarms an
+// uninterrupted run would.
+//
+// The format mirrors the PR 4 bundle discipline: a self-describing header
+// carrying a format string and a sha256 of the payload, verified before any
+// decoding, so a torn or tampered checkpoint fails with a named checksum
+// error instead of a decoder panic. Sessions are stored per user (sorted),
+// not per shard: restoring re-routes each user through the shard hash, so a
+// checkpoint taken at N shards restores into M shards — the Save/Restore
+// groundwork a multi-node fleet's session handoff builds on.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CheckpointFormat identifies the session-checkpoint layout;
+// RestoreSessions rejects headers written by a different format.
+const CheckpointFormat = "clmids-sessions v1"
+
+// ErrCheckpointCorrupt flags a checkpoint whose header, checksum, or
+// payload failed verification — callers distinguish "start fresh" from
+// configuration errors with errors.Is.
+var ErrCheckpointCorrupt = errors.New("stream: checkpoint corrupt")
+
+// entryRecord is one persisted window line (context score included, so a
+// restored session aggregate resumes exactly where it left off).
+type entryRecord struct {
+	Time  int64
+	Line  string
+	Score float64
+}
+
+// sessionRecord is one user's persisted sliding window.
+type sessionRecord struct {
+	User    string
+	Last    int64
+	Entries []entryRecord
+}
+
+// checkpointHeader is the JSON first line of a checkpoint stream.
+type checkpointHeader struct {
+	Format string `json:"format"`
+	// Users is the session count in the payload (decode sanity check).
+	Users int `json:"users"`
+	// HighWater is the latest event time seen, restored so EvictIdle
+	// sweeps resume on the stream's clock.
+	HighWater int64 `json:"high_water"`
+	// Config is the resolved detector configuration at save time; restore
+	// rejects a detector whose session semantics differ (a window replayed
+	// under different sessionization would silently change verdicts).
+	Config Config `json:"config"`
+	// Stats carries the aggregate counters so /stats survives a restart.
+	Stats Stats `json:"stats"`
+	// PayloadSHA256 is the hex sha256 of the gob payload that follows.
+	PayloadSHA256 string `json:"payload_sha256"`
+}
+
+// writeCheckpoint serializes records (already sorted by user) with header +
+// checksummed payload. Determinism: same sessions, same bytes — gob over
+// sorted slices has no map-order dependence, so checkpoint diffs mean state
+// diffs.
+func writeCheckpoint(w io.Writer, cfg Config, recs []sessionRecord, hw int64, st Stats) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(recs); err != nil {
+		return fmt.Errorf("stream: encoding checkpoint payload: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	st.ActiveSessions = len(recs) // snapshot-time truth, recomputed on restore
+	hdr, err := json.Marshal(checkpointHeader{
+		Format:        CheckpointFormat,
+		Users:         len(recs),
+		HighWater:     hw,
+		Config:        cfg,
+		Stats:         st,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return fmt.Errorf("stream: encoding checkpoint header: %w", err)
+	}
+	if _, err := w.Write(append(hdr, '\n')); err != nil {
+		return fmt.Errorf("stream: writing checkpoint header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("stream: writing checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint parses and verifies a checkpoint stream: format first,
+// then the payload checksum, and only then the decode — a torn write never
+// reaches gob.
+func readCheckpoint(r io.Reader) (checkpointHeader, []sessionRecord, error) {
+	var hdr checkpointHeader
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return hdr, nil, fmt.Errorf("%w: reading header: %v", ErrCheckpointCorrupt, err)
+	}
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("%w: parsing header: %v", ErrCheckpointCorrupt, err)
+	}
+	if hdr.Format != CheckpointFormat {
+		return hdr, nil, fmt.Errorf("stream: unknown checkpoint format %q (this build reads %q)",
+			hdr.Format, CheckpointFormat)
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return hdr, nil, fmt.Errorf("%w: reading payload: %v", ErrCheckpointCorrupt, err)
+	}
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != hdr.PayloadSHA256 {
+		return hdr, nil, fmt.Errorf("%w: payload checksum mismatch (header %.12s, payload %.12s)",
+			ErrCheckpointCorrupt, hdr.PayloadSHA256, got)
+	}
+	var recs []sessionRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&recs); err != nil {
+		return hdr, nil, fmt.Errorf("%w: decoding payload: %v", ErrCheckpointCorrupt, err)
+	}
+	if len(recs) != hdr.Users {
+		return hdr, nil, fmt.Errorf("%w: payload holds %d sessions, header says %d",
+			ErrCheckpointCorrupt, len(recs), hdr.Users)
+	}
+	return hdr, recs, nil
+}
+
+// sessionsCompatible reports whether two resolved configs agree on every
+// field that shapes session state and its interpretation — windowing,
+// context building, and aggregation. Alert thresholds may differ between
+// runs (retuning thresholds across a restart is normal operations).
+func sessionsCompatible(a, b Config) error {
+	type key struct {
+		cw  int
+		gap int64
+		it  int64
+		max int
+		agg Aggregation
+		dec float64
+	}
+	ka := key{a.ContextWindow, a.ContextGap, a.IdleTimeout, a.MaxSessionLines, a.Aggregation, a.Decay}
+	kb := key{b.ContextWindow, b.ContextGap, b.IdleTimeout, b.MaxSessionLines, b.Aggregation, b.Decay}
+	if ka != kb {
+		return fmt.Errorf("stream: checkpoint session config %+v incompatible with detector %+v", ka, kb)
+	}
+	return nil
+}
+
+// sessionRecords snapshots the detector's live sessions, sorted by user.
+func (d *Detector) sessionRecords() []sessionRecord {
+	d.mu.Lock()
+	recs := make([]sessionRecord, 0, len(d.sessions))
+	for user, sess := range d.sessions {
+		r := sessionRecord{User: user, Last: sess.last, Entries: make([]entryRecord, len(sess.entries))}
+		for i, e := range sess.entries {
+			r.Entries[i] = entryRecord{Time: e.time, Line: e.line, Score: e.score}
+		}
+		recs = append(recs, r)
+	}
+	d.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
+	return recs
+}
+
+// installRecords replaces the detector's session map with recs and folds
+// the checkpointed counters into stats (st nil skips counters — the
+// sharded restore folds the aggregate into one shard). It takes the
+// pipeline mutex, so a concurrent Process never sees a half-installed map.
+func (d *Detector) installRecords(recs []sessionRecord, hw int64, st *Stats) {
+	sessions := make(map[string]*session, len(recs))
+	for _, r := range recs {
+		sess := &session{last: r.Last, entries: make([]entry, len(r.Entries))}
+		for i, e := range r.Entries {
+			sess.entries[i] = entry{time: e.Time, line: e.Line, score: e.Score}
+		}
+		// A checkpoint from a same-config detector never exceeds the cap,
+		// but trim defensively: the invariant belongs to this process.
+		if over := len(sess.entries) - d.cfg.MaxSessionLines; over > 0 {
+			sess.entries = sess.entries[over:]
+		}
+		sessions[r.User] = sess
+	}
+	d.procMu.Lock()
+	d.mu.Lock()
+	d.sessions = sessions
+	if hw > d.highWater {
+		d.highWater = hw
+	}
+	if st != nil {
+		d.stats.Events += st.Events
+		d.stats.ScoredInputs += st.ScoredInputs
+		d.stats.LineAlerts += st.LineAlerts
+		d.stats.SessionAlerts += st.SessionAlerts
+		d.stats.SessionsStarted += st.SessionsStarted
+		d.stats.SessionsIdleClosed += st.SessionsIdleClosed
+		d.stats.SessionsEvicted += st.SessionsEvicted
+		d.stats.ScorerPanics += st.ScorerPanics
+		d.stats.QuarantinedInputs += st.QuarantinedInputs
+		d.stats.QuarantineHits += st.QuarantineHits
+	}
+	d.mu.Unlock()
+	d.procMu.Unlock()
+}
+
+// SaveSessions writes a checkpoint of the detector's per-user session
+// windows, counters, and high-water mark to w. Safe during serving: the
+// snapshot is taken under the state lock (consistent as of one instant) and
+// serialization happens outside it.
+func (d *Detector) SaveSessions(w io.Writer) error {
+	recs := d.sessionRecords()
+	d.mu.Lock()
+	st := d.stats
+	hw := d.highWater
+	d.mu.Unlock()
+	return writeCheckpoint(w, d.cfg, recs, hw, st)
+}
+
+// RestoreSessions replaces the detector's session state with a checkpoint
+// written by SaveSessions (or ShardedDetector.SaveSessions), verifying the
+// format and payload checksum first and rejecting checkpoints whose session
+// semantics differ from the detector's. Meant for startup, before traffic;
+// it also folds the checkpointed counters into Stats so observability
+// survives the restart.
+func (d *Detector) RestoreSessions(r io.Reader) error {
+	hdr, recs, err := readCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	if err := sessionsCompatible(hdr.Config.withDefaults(), d.cfg); err != nil {
+		return err
+	}
+	d.installRecords(recs, hdr.HighWater, &hdr.Stats)
+	return nil
+}
+
+// SaveSessions checkpoints every shard's sessions as one user-keyed
+// stream: shard snapshots are merged and sorted, so the artifact is
+// independent of the shard count that produced it. Each shard is
+// snapshotted under its own lock — crash-consistent per user (a user lives
+// on exactly one shard), not globally instantaneous.
+func (d *ShardedDetector) SaveSessions(w io.Writer) error {
+	var recs []sessionRecord
+	for _, det := range d.dets {
+		recs = append(recs, det.sessionRecords()...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
+	return writeCheckpoint(w, d.Config(), recs, d.HighWater(), d.Stats())
+}
+
+// RestoreSessions restores a checkpoint into the sharded detector,
+// re-routing every user through the shard hash — the shard count may
+// differ from the one that saved it. The aggregate counters are folded
+// into shard 0 (per-shard counter attribution does not survive a reshard;
+// the service-level aggregate does).
+func (d *ShardedDetector) RestoreSessions(r io.Reader) error {
+	hdr, recs, err := readCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	if err := sessionsCompatible(hdr.Config.withDefaults(), d.Config()); err != nil {
+		return err
+	}
+	n := len(d.dets)
+	parts := make([][]sessionRecord, n)
+	for _, rec := range recs {
+		sh := shardOf(rec.User, n)
+		parts[sh] = append(parts[sh], rec)
+	}
+	for i, det := range d.dets {
+		st := &hdr.Stats
+		if i != 0 {
+			st = nil
+		}
+		det.installRecords(parts[i], hdr.HighWater, st)
+	}
+	return nil
+}

@@ -234,6 +234,14 @@ func (d *ShardedDetector) Stats() Stats {
 		total.SessionsIdleClosed += s.SessionsIdleClosed
 		total.SessionsEvicted += s.SessionsEvicted
 		total.ActiveSessions += s.ActiveSessions
+		total.ScorerPanics += s.ScorerPanics
+		total.QuarantinedInputs += s.QuarantinedInputs
+		total.QuarantineHits += s.QuarantineHits
+		for _, sample := range s.QuarantineSample {
+			if len(total.QuarantineSample) < quarSampleCap {
+				total.QuarantineSample = append(total.QuarantineSample, sample)
+			}
+		}
 	}
 	return total
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"clmids/internal/tuning"
 )
@@ -119,6 +120,15 @@ type Config struct {
 	// SessionThreshold fires a SessionAlert when the session score reaches
 	// it. 0 disables.
 	SessionThreshold float64
+	// QuarantineScore is the score assigned to quarantined (poison) scoring
+	// inputs — lines the scorer reproducibly panics on. The default 0 is
+	// neutral: a quarantined line neither trips alerts nor dilutes session
+	// aggregates upward.
+	QuarantineScore float64
+	// MaxQuarantine bounds the remembered poison-input set; beyond it,
+	// poison lines are still isolated per batch (and counted) but not
+	// remembered across batches. Default 1024.
+	MaxQuarantine int
 }
 
 // DefaultConfig returns the deployment defaults: single-line scoring,
@@ -151,6 +161,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Decay <= 0 || c.Decay > 1 {
 		c.Decay = 0.7
+	}
+	if c.MaxQuarantine <= 0 {
+		c.MaxQuarantine = 1024
 	}
 	return c
 }
@@ -198,6 +211,17 @@ type Stats struct {
 	SessionsEvicted    int64 `json:"sessions_evicted"`
 	// ActiveSessions is the live session count at snapshot time.
 	ActiveSessions int `json:"active_sessions"`
+	// ScorerPanics counts scorer panics recovered by the batch pipeline.
+	// Cumulative resilience knowledge: never rolled back by an abort.
+	ScorerPanics int64 `json:"scorer_panics,omitempty"`
+	// QuarantinedInputs counts scoring inputs isolated as poison (the
+	// scorer reproducibly panicked on them alone); QuarantineHits counts
+	// scores served from quarantine without touching the scorer.
+	QuarantinedInputs int64 `json:"quarantined_inputs,omitempty"`
+	QuarantineHits    int64 `json:"quarantine_hits,omitempty"`
+	// QuarantineSample holds the most recently quarantined inputs (bounded
+	// to a handful), so /stats shows what the poison looks like.
+	QuarantineSample []string `json:"quarantine_sample,omitempty"`
 	// ScorerVersion identifies the active scorer artifact (the bundle
 	// version for bundle-loaded scorers); empty when never set. Set at
 	// construction time via SwapScorer or ShardedDetector.SetScorerVersion.
@@ -234,7 +258,18 @@ type Detector struct {
 	stats     Stats
 	highWater int64  // latest event time seen, for event-time EvictIdle sweeps
 	version   string // active scorer artifact version, surfaced in Stats
+
+	// Poison quarantine: scoring inputs the scorer reproducibly panicked
+	// on, isolated by batch bisection. quar is guarded by mu; quarLen
+	// mirrors len(quar) atomically so the hot scoring path can skip the
+	// lock entirely while the quarantine is empty (the steady state).
+	quar        map[string]struct{}
+	quarLen     atomic.Int64
+	quarSamples []string
 }
+
+// quarSampleCap bounds the surfaced poison-line samples per detector.
+const quarSampleCap = 4
 
 // NewDetector wraps a scorer with session-aware streaming state. For
 // deployment the scorer should hold a persistent cached inference engine
@@ -275,6 +310,11 @@ type sessUndo struct {
 // returned, so a transient failure neither dilutes session aggregates
 // with zero scores nor grows windows past their cap — a producer may
 // safely retry the same events.
+//
+// A panicking scorer does not propagate: the panic is recovered, the batch
+// bisected to isolate the poison input, which is quarantined (scored at
+// QuarantineScore, counted and sampled in Stats, skipped in future
+// batches), and the batch commits normally — the detector keeps serving.
 func (d *Detector) Process(events []Event) ([]Verdict, error) {
 	if len(events) == 0 {
 		return nil, nil
@@ -384,17 +424,155 @@ func (d *Detector) begin(events []Event) *procBatch {
 }
 
 // score runs pass 2 (no state lock, so Stats/EvictIdle stay responsive):
-// one batched scoring call for the whole request.
+// one batched scoring call for the whole request, hardened against a
+// panicking scorer. Inputs already in quarantine are served the quarantine
+// score without touching the scorer; a panic on the rest is recovered and
+// the batch bisected to isolate the poison input (see scoreResilient).
+// Plain scorer errors still abort the whole batch — they are transient and
+// retryable, unlike a reproducible panic.
 func (b *procBatch) score() error {
-	scores, err := b.d.scorer.Score(b.inputs)
-	if err == nil && len(scores) != len(b.inputs) {
-		err = fmt.Errorf("returned %d scores for %d inputs", len(scores), len(b.inputs))
+	d := b.d
+	scores := make([]float64, len(b.inputs))
+	live, liveIdx := b.inputs, []int(nil)
+	if d.quarLen.Load() > 0 {
+		live = make([]string, 0, len(b.inputs))
+		liveIdx = make([]int, 0, len(b.inputs))
+		var hits int64
+		d.mu.Lock()
+		for i, in := range b.inputs {
+			if _, poison := d.quar[in]; poison {
+				scores[i] = d.cfg.QuarantineScore
+				hits++
+				continue
+			}
+			live = append(live, in)
+			liveIdx = append(liveIdx, i)
+		}
+		d.stats.QuarantineHits += hits
+		d.mu.Unlock()
 	}
-	if err != nil {
-		return fmt.Errorf("stream: scoring %d inputs: %w", len(b.inputs), err)
+	if len(live) > 0 {
+		out := scores
+		if liveIdx != nil {
+			out = make([]float64, len(live))
+		}
+		if err := d.scoreResilient(live, out); err != nil {
+			return fmt.Errorf("stream: scoring %d inputs: %w", len(b.inputs), err)
+		}
+		if liveIdx != nil {
+			for k, i := range liveIdx {
+				scores[i] = out[k]
+			}
+		}
 	}
 	b.scores = scores
 	return nil
+}
+
+// callScorer invokes the scorer once, converting a panic into a flagged
+// error so the pipeline can tell a crashing replica (isolate the poison)
+// from a failing one (abort and retry). It also normalizes the
+// wrong-length-result bug class into an error.
+func callScorer(sc tuning.Scorer, inputs []string) (scores []float64, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			scores, err, panicked = nil, fmt.Errorf("scorer panic: %v", r), true
+		}
+	}()
+	scores, err = sc.Score(inputs)
+	if err == nil && len(scores) != len(inputs) {
+		err = fmt.Errorf("returned %d scores for %d inputs", len(scores), len(inputs))
+	}
+	return scores, err, false
+}
+
+// scoreResilient scores inputs into out (same length), recovering scorer
+// panics: a panicking batch is bisected until the poison input is isolated,
+// quarantined (counter + sample in Stats, remembered so future batches skip
+// it), and given the quarantine score — the shard keeps serving. A panic
+// that does not reproduce on the isolated input (a transient crash) costs
+// one retry and quarantines nothing. Non-panic errors abort the whole
+// batch, preserving the transient-failure retry contract.
+func (d *Detector) scoreResilient(inputs []string, out []float64) error {
+	sc := d.scorer // stable: procMu is held for the whole batch
+	scores, err, panicked := callScorer(sc, inputs)
+	if !panicked {
+		if err != nil {
+			return err
+		}
+		copy(out, scores)
+		return nil
+	}
+	d.notePanic()
+	return d.bisect(sc, inputs, out)
+}
+
+// bisect recursively splits a panicking batch to isolate poison inputs.
+// Cost is O(log n) scorer calls per poison line, paid once: quarantined
+// inputs never reach the scorer again.
+func (d *Detector) bisect(sc tuning.Scorer, inputs []string, out []float64) error {
+	if len(inputs) == 1 {
+		// Retry once before condemning: only a reproducible panic
+		// quarantines; a transient one just scores on the retry.
+		scores, err, panicked := callScorer(sc, inputs)
+		if panicked {
+			d.notePanic()
+			d.quarantine(inputs[0])
+			out[0] = d.cfg.QuarantineScore
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		out[0] = scores[0]
+		return nil
+	}
+	mid := len(inputs) / 2
+	for _, h := range [2][2]int{{0, mid}, {mid, len(inputs)}} {
+		in, o := inputs[h[0]:h[1]], out[h[0]:h[1]]
+		scores, err, panicked := callScorer(sc, in)
+		if panicked {
+			d.notePanic()
+			if err := d.bisect(sc, in, o); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		copy(o, scores)
+	}
+	return nil
+}
+
+// notePanic counts one recovered scorer panic. Like the quarantine set,
+// this is cumulative operational knowledge, deliberately not rolled back
+// when a batch later aborts.
+func (d *Detector) notePanic() {
+	d.mu.Lock()
+	d.stats.ScorerPanics++
+	d.mu.Unlock()
+}
+
+// quarantine remembers a poison input (bounded by MaxQuarantine) and
+// records the counter + sample surfaced in Stats.
+func (d *Detector) quarantine(input string) {
+	d.mu.Lock()
+	d.stats.QuarantinedInputs++
+	if d.quar == nil {
+		d.quar = make(map[string]struct{})
+	}
+	if _, dup := d.quar[input]; !dup && len(d.quar) < d.cfg.MaxQuarantine {
+		d.quar[input] = struct{}{}
+		d.quarLen.Store(int64(len(d.quar)))
+	}
+	if len(d.quarSamples) >= quarSampleCap {
+		copy(d.quarSamples, d.quarSamples[1:])
+		d.quarSamples = d.quarSamples[:quarSampleCap-1]
+	}
+	d.quarSamples = append(d.quarSamples, input)
+	d.mu.Unlock()
 }
 
 // abort rolls the batch's session mutations back; the failed events still
@@ -602,6 +780,7 @@ func (d *Detector) Stats() Stats {
 	s := d.stats
 	s.ActiveSessions = len(d.sessions)
 	s.ScorerVersion = d.version
+	s.QuarantineSample = append([]string(nil), d.quarSamples...)
 	return s
 }
 

@@ -313,23 +313,27 @@ func (s *panicScorer) Score(lines []string) ([]float64, error) {
 }
 
 // TestScorerPanicLeavesDetectorUsable: a panicking scorer must not wedge
-// the pipeline mutex or leave the batch half-applied — a caller that
-// recovers gets a rolled-back, fully usable detector.
+// the pipeline mutex or escape Process — the detector recovers it, retries
+// the input, and commits the batch. A transient panic (one that does not
+// reproduce on retry) quarantines nothing.
 func TestScorerPanicLeavesDetectorUsable(t *testing.T) {
 	det := NewDetector(&panicScorer{}, DefaultConfig())
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("scorer panic swallowed")
-			}
-		}()
-		det.Process([]Event{ev("u", 1, "x")})
-	}()
-	if st := det.Stats(); st.ActiveSessions != 0 || st.SessionsStarted != 0 {
-		t.Fatalf("panicked batch not rolled back: %+v", st)
+	vs, err := det.Process([]Event{ev("u", 1, "x")})
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("panicked batch not recovered: %v %+v", err, vs)
 	}
-	vs, err := det.Process([]Event{ev("u", 2, "y")})
-	if err != nil || len(vs) != 1 || vs[0].SessionLines != 1 {
+	st := det.Stats()
+	if st.ScorerPanics != 1 {
+		t.Fatalf("ScorerPanics = %d, want 1", st.ScorerPanics)
+	}
+	if st.QuarantinedInputs != 0 {
+		t.Fatalf("transient panic quarantined %d inputs: %+v", st.QuarantinedInputs, st)
+	}
+	if st.ActiveSessions != 1 || st.SessionsStarted != 1 {
+		t.Fatalf("recovered batch not committed: %+v", st)
+	}
+	vs, err = det.Process([]Event{ev("u", 2, "y")})
+	if err != nil || len(vs) != 1 || vs[0].SessionLines != 2 {
 		t.Fatalf("detector unusable after recovered panic: %v %+v", err, vs)
 	}
 }

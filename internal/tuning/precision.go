@@ -15,13 +15,56 @@ import (
 // either way, but rows computed at different rungs differ in the low bits,
 // so a swap never mixes provenance within one cache).
 
-// ScorerPrecision reports the serving-engine precision of s, or false for
-// scorer types without an engine.
+// PrecisionSwitcher is implemented by scorers that can report their serving
+// rung and stamp out an independent variant of themselves at another rung —
+// the hook the streaming layer's graceful-degradation policy shifts scorers
+// through. The four engine-backed method scorers get this behavior from
+// AtPrecision without implementing the interface; wrappers (fault
+// injectors, custom scorers) implement it to stay degradable.
+type PrecisionSwitcher interface {
+	Scorer
+	// Precision reports the current serving rung.
+	Precision() model.Precision
+	// AtPrecision returns an independent scorer that scores the same lines
+	// at precision p; the receiver is left untouched and keeps serving.
+	AtPrecision(p model.Precision) (Scorer, error)
+}
+
+// ScorerPrecision reports the serving precision of s, or false for scorer
+// types without an engine (or a PrecisionSwitcher implementation).
 func ScorerPrecision(s Scorer) (model.Precision, bool) {
+	if ps, ok := s.(PrecisionSwitcher); ok {
+		return ps.Precision(), true
+	}
 	if e := engineOf(s); e != nil {
 		return e.Precision(), true
 	}
 	return "", false
+}
+
+// AtPrecision returns an independent scorer serving at precision p while s
+// keeps serving untouched at its own rung: a PrecisionSwitcher delegates,
+// any other Replicable engine-backed scorer is replicated (shared frozen
+// artifacts, fresh engine scratch + empty LRU) and its replica's engine
+// rebound to p before it ever scores. This is the off-hot-path half of a
+// precision downshift; installing the result goes through the stream
+// layer's SwapScorer so no in-flight batch mixes rungs.
+func AtPrecision(s Scorer, p model.Precision) (Scorer, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("tuning: unknown precision %q", p)
+	}
+	if ps, ok := s.(PrecisionSwitcher); ok {
+		return ps.AtPrecision(p)
+	}
+	r, ok := s.(Replicable)
+	if !ok {
+		return nil, fmt.Errorf("tuning: scorer %T cannot switch precision", s)
+	}
+	c := r.Replicate()
+	if err := SetScorerPrecision(c, p); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // SetScorerPrecision swaps s's serving engine for a fresh one at precision
