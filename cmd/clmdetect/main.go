@@ -43,6 +43,7 @@ import (
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/modality"
 	"clmids/internal/model"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
@@ -66,6 +67,7 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
 	seed := fs.Int64("seed", 1, "tuning seed")
 	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides)")
+	modalityPin := fs.String("modality", "", "expected log modality ("+modality.FlagHelp()+"): a bundle or pipeline trained for another modality is rejected; empty accepts whatever the artifact carries")
 	follow := fs.Bool("follow", false, "stream mode: score lines as they arrive, with session aggregation")
 	shards := fs.Int("shards", 1, "follow mode detector shards keyed by hash(user) (0 = GOMAXPROCS); follow mode scores line by line, so this costs a scorer replica per shard and buys parity with a sharded clmserve, not throughput")
 	user := fs.String("user", "stdin", "user attributed to plain-text lines in follow mode")
@@ -87,6 +89,13 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// A typoed modality fails here with the registered list, before the
+	// model loads — the same fast-fail UX as -method.
+	if *modalityPin != "" {
+		if err := modality.Validate(*modalityPin); err != nil {
+			return err
+		}
+	}
 
 	ids := commercial.Default()
 	var scorer tuning.Scorer
@@ -96,6 +105,11 @@ func run(args []string) error {
 		lb, err := core.LoadScorerBundle(*bundle)
 		if err != nil {
 			return err
+		}
+		if *modalityPin != "" {
+			if err := lb.CheckModality(*modalityPin); err != nil {
+				return err
+			}
 		}
 		scorer, *method = lb.Scorer, lb.Manifest.Method
 		if *precision != "" {
@@ -111,6 +125,10 @@ func run(args []string) error {
 		pl, err := core.LoadPipeline(*modelDir)
 		if err != nil {
 			return err
+		}
+		if pin := modality.Canonical(*modalityPin); *modalityPin != "" && pl.Pre.Modality() != pin {
+			return fmt.Errorf("%w: pipeline %s is %q, -modality wants %q",
+				core.ErrModalityMismatch, *modelDir, pl.Pre.Modality(), pin)
 		}
 		baseLines, err := readBaseline(*baseline)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"clmids/internal/corpus"
+	"clmids/internal/modality"
 )
 
 func main() {
@@ -37,8 +38,14 @@ func run(args []string) error {
 	garbage := fs.Float64("garbage-rate", def.GarbageRate, "per-line invalid-record probability")
 	weird := fs.Float64("weird-rate", def.WeirdRate, "per-line abnormal-yet-benign probability")
 	seed := fs.Int64("seed", def.Seed, "generation seed")
+	mod := fs.String("modality", "", "log modality to synthesize: "+modality.FlagHelp())
 	out := fs.String("out", ".", "output directory")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// A typoed modality fails here, with the registered list, before any
+	// synthesis — the same fast-fail UX as clmtrain's -method.
+	if err := modality.Validate(*mod); err != nil {
 		return err
 	}
 
@@ -46,7 +53,7 @@ func run(args []string) error {
 		TrainLines: *trainN, TestLines: *testN, Users: *users,
 		IntrusionRate: *intrusion, OutOfBoxFrac: *oob,
 		TypoRate: *typo, GarbageRate: *garbage, WeirdRate: *weird,
-		Seed: *seed,
+		Seed: *seed, Modality: *mod,
 	}
 	train, test, err := corpus.Generate(cfg)
 	if err != nil {

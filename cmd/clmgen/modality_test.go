@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clmids/internal/corpus"
+)
+
+// TestRunRejectsUnknownModality: a typoed -modality fails before any
+// synthesis, listing the registered modalities — the same fast-fail UX as
+// clmtrain's -method.
+func TestRunRejectsUnknownModality(t *testing.T) {
+	err := run([]string{"-modality", "syslog", "-out", t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "powershell") ||
+		!strings.Contains(err.Error(), "flows") {
+		t.Fatalf("unknown modality error does not list registered names: %v", err)
+	}
+}
+
+// TestRunSynthesizesNonShellModalities: -modality plumbs through to the
+// generator — both new corpora come out labeled and non-empty.
+func TestRunSynthesizesNonShellModalities(t *testing.T) {
+	for _, mod := range []string{"powershell", "flows"} {
+		dir := t.TempDir()
+		err := run([]string{"-train", "500", "-test", "250", "-modality", mod, "-out", dir, "-seed", "3"})
+		if err != nil {
+			t.Fatalf("%s: run: %v", mod, err)
+		}
+		intrusions := 0
+		for _, name := range []string{"train.jsonl", "test.jsonl"} {
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := corpus.ReadJSONL(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: reading %s: %v", mod, name, err)
+			}
+			if len(ds.Samples) == 0 {
+				t.Fatalf("%s: empty %s", mod, name)
+			}
+			intrusions += ds.CountLabel(corpus.Intrusion)
+		}
+		if intrusions == 0 {
+			t.Fatalf("%s: no labeled intrusions in either split", mod)
+		}
+	}
+}

@@ -10,14 +10,22 @@
 // Scales: tiny (unit-test size), small (default; the EXPERIMENTS.md
 // numbers), paper (the exact BERT-base configuration — documented but far
 // beyond one CPU).
+//
+// -exp crossmod runs the cross-modality reproduction instead: the same
+// serving stack trained and evaluated per registered log modality (Unix
+// shell, PowerShell, textualized network flows), reporting per-method AUC
+// and streaming session-alarm rates. -modality restricts it to one
+// modality.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"clmids/internal/core"
+	"clmids/internal/modality"
 	"clmids/internal/model"
 )
 
@@ -31,12 +39,25 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("clmrepro", flag.ContinueOnError)
 	scale := fs.String("scale", "small", "experiment scale: tiny | small | paper")
-	exp := fs.String("exp", "all", "experiment: all | fig2 | unsup | table1 | table2 | table3 | f1 | pref")
+	exp := fs.String("exp", "all", "experiment: all | fig2 | unsup | table1 | table2 | table3 | f1 | pref | crossmod")
 	runs := fs.Int("runs", 0, "override number of fine-tuning runs (0 = preset)")
 	seed := fs.Int64("seed", 0, "override seed (0 = preset)")
+	mod := fs.String("modality", "", "restrict -exp crossmod to one modality ("+modality.FlagHelp()+"); other experiments are shell-only (the commercial IDS rule set is)")
 	quiet := fs.Bool("quiet", false, "suppress progress logging")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Fail a typoed modality with the registered list before any training.
+	if err := modality.Validate(*mod); err != nil {
+		return err
+	}
+
+	if *exp == "crossmod" {
+		return runCrossmod(*scale, *mod, *seed, *quiet)
+	}
+	if *mod != "" && modality.Canonical(*mod) != modality.Shell {
+		return fmt.Errorf("-exp %s is shell-only (the simulated commercial IDS rules are shell regexes); use -exp crossmod for %s (modalities: %s)",
+			*exp, modality.Canonical(*mod), strings.Join(modality.Names(), " | "))
 	}
 
 	cfg, err := configFor(*scale)
@@ -107,6 +128,39 @@ func configFor(scale string) (core.ExperimentConfig, error) {
 	default:
 		return core.ExperimentConfig{}, fmt.Errorf("unknown scale %q", scale)
 	}
+}
+
+// runCrossmod trains and evaluates the stack once per modality and prints
+// the cross-modality AUC / session-alarm table.
+func runCrossmod(scale, mod string, seed int64, quiet bool) error {
+	cfg := core.DefaultCrossModality()
+	switch scale {
+	case "tiny":
+	case "small":
+		cfg.Corpus.TrainLines = 3000
+		cfg.Corpus.TestLines = 1500
+	case "paper":
+		return fmt.Errorf("-exp crossmod has no paper-scale preset; use -scale tiny or small")
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	if mod != "" {
+		cfg.Modalities = []string{modality.Canonical(mod)}
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if !quiet {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	res, err := core.RunCrossModality(cfg)
+	if err != nil {
+		return err
+	}
+	res.WriteTable(os.Stdout)
+	return nil
 }
 
 func runUnsup(cfg core.ExperimentConfig, quiet bool) error {

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrossmodFlagErrors: the cross-modality experiment's flag surface
+// fails fast and points the user the right way — typos list the
+// registered modalities, shell-only experiments refuse non-shell
+// modalities with a pointer to -exp crossmod, and the unsupported paper
+// scale names the scales that exist.
+func TestCrossmodFlagErrors(t *testing.T) {
+	err := run([]string{"-modality", "syslog"})
+	if err == nil || !strings.Contains(err.Error(), "powershell") ||
+		!strings.Contains(err.Error(), "flows") {
+		t.Fatalf("unknown modality error does not list registered names: %v", err)
+	}
+	err = run([]string{"-exp", "table1", "-modality", "flows"})
+	if err == nil || !strings.Contains(err.Error(), "crossmod") {
+		t.Fatalf("shell-only experiment error does not point at -exp crossmod: %v", err)
+	}
+	err = run([]string{"-exp", "crossmod", "-scale", "paper"})
+	if err == nil || !strings.Contains(err.Error(), "tiny") {
+		t.Fatalf("crossmod paper-scale error does not name supported scales: %v", err)
+	}
+}

@@ -78,6 +78,7 @@ import (
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/modality"
 	"clmids/internal/model"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
@@ -113,6 +114,7 @@ func run(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "session checkpoint file: restored at startup, rewritten every -checkpoint-interval and after draining (empty disables)")
 	ckptInterval := fs.Duration("checkpoint-interval", time.Minute, "how often to rewrite the session checkpoint")
 	shards := fs.Int("shards", 0, "detector shards keyed by hash(user) (0 = GOMAXPROCS); each shard scores concurrently on its own scorer replica")
+	modalityPin := fs.String("modality", "", "pin the served log modality ("+modality.FlagHelp()+"): the startup artifact and every reload must match, or they are rejected; empty adopts the first loaded artifact's modality")
 	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides; applies at startup, reloads follow their bundle's manifest)")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this extra debug listener (e.g. 127.0.0.1:6060); scoring, liveness, and readiness stay on -addr")
 	if err := fs.Parse(args); err != nil {
@@ -139,9 +141,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	// Fail a typoed method in milliseconds, not after loading the model.
+	// Fail a typoed method or modality in milliseconds, not after loading
+	// the model; the modality error lists the registered names.
 	if *bundleDir == "" {
 		if err := core.ValidateMethod(*method); err != nil {
+			return err
+		}
+	}
+	if *modalityPin != "" {
+		if err := modality.Validate(*modalityPin); err != nil {
 			return err
 		}
 	}
@@ -195,15 +203,24 @@ func run(args []string) error {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 
 	var scorer tuning.Scorer
-	version := ""
+	version, served := "", ""
 	if *bundleDir != "" {
 		lb, err := core.LoadScorerBundle(*bundleDir)
 		if err != nil {
 			server.Close()
 			return err
 		}
+		if *modalityPin != "" {
+			// The pin wins over the artifact: a bundle trained for another
+			// modality is rejected before it ever scores a line.
+			if err := lb.CheckModality(*modalityPin); err != nil {
+				server.Close()
+				return err
+			}
+		}
 		scorer, version, *method = lb.Scorer, lb.Manifest.Version, lb.Manifest.Method
-		fmt.Fprintf(os.Stderr, "clmserve: loaded %s bundle %s (no tuning)\n", *method, version)
+		served = lb.Modality()
+		fmt.Fprintf(os.Stderr, "clmserve: loaded %s bundle %s (modality %s, no tuning)\n", *method, version, served)
 		if *precision != "" {
 			// Startup override: rebind the serving engine before any
 			// replica exists; the head and backbone are untouched.
@@ -214,10 +231,15 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "clmserve: serving at %s precision\n", prec)
 		}
 	} else {
-		scorer, err = buildScorerFromBaseline(*modelDir, *baseline, *method, *epochs, *seed, prec)
+		scorer, served, err = buildScorerFromBaseline(*modelDir, *baseline, *method, *epochs, *seed, prec)
 		if err != nil {
 			server.Close()
 			return err
+		}
+		if pin := modality.Canonical(*modalityPin); *modalityPin != "" && served != pin {
+			server.Close()
+			return fmt.Errorf("%w: pipeline %s is %q, server pinned to %q",
+				core.ErrModalityMismatch, *modelDir, served, pin)
 		}
 	}
 
@@ -234,6 +256,7 @@ func run(args []string) error {
 		return err
 	}
 	sharded.SetScorerVersion(version)
+	sharded.SetModality(served)
 	svc := stream.NewShardedService(sharded, stream.ServiceConfig{
 		QueueRequests: *queue,
 		BatchEvents:   *batch,
@@ -259,7 +282,7 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "clmserve: checkpoint %s unreadable (%v); starting fresh\n", *checkpoint, err)
 		}
 	}
-	d.attach(svc)
+	d.attach(svc, served)
 
 	// Periodic idle-session sweep bounds memory across a large user
 	// population. It runs on the stream's high-water event time, not wall
@@ -296,8 +319,8 @@ func run(args []string) error {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving on %s (%d shards, overload=%s)\n",
-		*method, ln.Addr(), *shards, overloadPolicy)
+	fmt.Fprintf(os.Stderr, "clmserve: %s scorer serving %s logs on %s (%d shards, overload=%s)\n",
+		*method, served, ln.Addr(), *shards, overloadPolicy)
 
 	for {
 		select {
@@ -368,30 +391,43 @@ func writeCheckpointFile(svc *stream.Service, path string) error {
 // buildScorerFromBaseline is the legacy warm start: load the pipeline and
 // tune the method head over the labeled baseline log; prec selects the
 // serving engine's arithmetic rung (tuning itself always runs in float64).
-func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed int64, prec model.Precision) (tuning.Scorer, error) {
+// The returned modality is the pipeline's, so the caller can enforce a
+// -modality pin and stamp the serving stats.
+func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed int64, prec model.Precision) (tuning.Scorer, string, error) {
 	pl, err := core.LoadPipeline(modelDir)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
+	served := pl.Pre.Modality()
 	bf, err := os.Open(baseline)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	ds, err := corpus.ReadJSONL(bf)
 	bf.Close()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	baseLines := ds.Lines()
-	ids := commercial.Default()
-	labels, err := ids.Label(baseLines, commercial.DefaultNoise(), seed)
-	if err != nil {
-		return nil, err
+	var labels []bool
+	if served == modality.Shell {
+		labels, err = commercial.Default().Label(baseLines, commercial.DefaultNoise(), seed)
+		if err != nil {
+			return nil, "", err
+		}
+	} else {
+		// The commercial IDS rule set is shell-only; other modalities use the
+		// in-box oracle carried by the labeled baseline log.
+		labels = make([]bool, len(ds.Samples))
+		for i, s := range ds.Samples {
+			labels[i] = s.Label == corpus.Intrusion && s.InBox
+		}
 	}
 	fmt.Fprintf(os.Stderr, "clmserve: building %s scorer over %d baseline lines...\n", method, len(baseLines))
-	return core.BuildScorer(pl, core.ScorerConfig{
+	sc, err := core.BuildScorer(pl, core.ScorerConfig{
 		Method: method, Epochs: epochs, Seed: seed, Precision: prec,
 	}, baseLines, labels)
+	return sc, served, err
 }
 
 // daemon is the handler-visible serving state: nil service until the
@@ -402,6 +438,7 @@ type daemon struct {
 	mu        sync.RWMutex
 	svc       *stream.Service
 	bundleDir string
+	modality  string // the served modality; reloads must match it
 
 	reloadMu sync.Mutex // serializes /reload + SIGHUP loads
 }
@@ -410,10 +447,12 @@ func newDaemon(bundleDir string) *daemon {
 	return &daemon{bundleDir: bundleDir}
 }
 
-// attach publishes the service; the daemon is ready from this point.
-func (d *daemon) attach(svc *stream.Service) {
+// attach publishes the service and locks in the served modality; the daemon
+// is ready from this point, and every reload must carry the same modality.
+func (d *daemon) attach(svc *stream.Service, served string) {
 	d.mu.Lock()
 	d.svc = svc
+	d.modality = served
 	d.mu.Unlock()
 }
 
@@ -451,6 +490,15 @@ func (d *daemon) reload(dir string) (string, error) {
 	}
 	lb, err := core.LoadScorerBundle(dir)
 	if err != nil {
+		return "", err
+	}
+	d.mu.RLock()
+	served := d.modality
+	d.mu.RUnlock()
+	// A bundle trained for another modality never swaps in: the reload is
+	// rejected with the typed mismatch error (HTTP 409) and the old scorer
+	// keeps serving untouched.
+	if err := lb.CheckModality(served); err != nil {
 		return "", err
 	}
 	if err := svc.SwapScorer(lb.Scorer, lb.Manifest.Version); err != nil {
@@ -496,8 +544,13 @@ func newHandler(d *daemon, chunk int) http.Handler {
 		version, err := d.reload(r.URL.Query().Get("bundle"))
 		if err != nil {
 			status := http.StatusInternalServerError
-			if errors.Is(err, errNoBundle) {
+			switch {
+			case errors.Is(err, errNoBundle):
 				status = http.StatusBadRequest
+			case errors.Is(err, core.ErrModalityMismatch):
+				// The bundle is fine, it just serves a different log type
+				// than this server: a conflict, not a server fault.
+				status = http.StatusConflict
 			}
 			http.Error(w, err.Error(), status)
 			return
@@ -523,6 +576,9 @@ func newHandler(d *daemon, chunk int) http.Handler {
 		line := "ready"
 		if v := svc.ScorerVersion(); v != "" {
 			line += " " + v
+		}
+		if m := svc.Modality(); m != "" {
+			line += " modality=" + m
 		}
 		if n := svc.DegradedShards(); n > 0 {
 			line += fmt.Sprintf(" degraded=%d", n)

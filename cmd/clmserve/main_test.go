@@ -28,7 +28,7 @@ type serveFixture struct {
 // handler serves against after startup completes.
 func (f *serveFixture) ready() *daemon {
 	d := newDaemon("")
-	d.attach(f.svc)
+	d.attach(f.svc, "shell")
 	return d
 }
 
@@ -275,7 +275,7 @@ func TestReadinessSplit(t *testing.T) {
 		t.Fatalf("cold /score %d, want 503", resp.StatusCode)
 	}
 
-	d.attach(f.svc)
+	d.attach(f.svc, "shell")
 	if got := get("/readyz"); got != http.StatusOK {
 		t.Fatalf("ready /readyz %d, want 200", got)
 	}

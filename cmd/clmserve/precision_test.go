@@ -85,7 +85,7 @@ func TestReloadSwapsPrecision(t *testing.T) {
 	svc := stream.NewShardedService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64})
 	defer svc.Close()
 	d := newDaemon("")
-	d.attach(svc)
+	d.attach(svc, "shell")
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()
 

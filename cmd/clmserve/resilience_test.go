@@ -57,7 +57,7 @@ func TestReloadDamagedBundleUnderLoad(t *testing.T) {
 	svc := fixtureService(t, f, stream.ServiceConfig{QueueRequests: 16, BatchEvents: 64}, nil)
 	defer svc.Close()
 	d := newDaemon("")
-	d.attach(svc)
+	d.attach(svc, "shell")
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()
 
@@ -246,7 +246,7 @@ func TestReadyzReportsDegraded(t *testing.T) {
 	svc := fixtureService(t, f, scfg, gate.Wrap)
 	defer svc.Close()
 	d := newDaemon("")
-	d.attach(svc)
+	d.attach(svc, "shell")
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()
 

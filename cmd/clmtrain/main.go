@@ -26,6 +26,7 @@ import (
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/modality"
 	"clmids/internal/model"
 	"clmids/internal/preprocess"
 	"clmids/internal/pretrain"
@@ -53,6 +54,7 @@ func run(args []string) error {
 	lr := fs.Float64("lr", 1e-3, "peak learning rate")
 	maskProb := fs.Float64("mask", 0.15, "MLM masking probability q")
 	minFreq := fs.Int("min-freq", 3, "command-frequency filter threshold")
+	mod := fs.String("modality", "", "log modality of the training data: "+modality.FlagHelp())
 	maxLines := fs.Int("max-lines", 0, "cap on pre-training lines (0 = all)")
 	seed := fs.Int64("seed", 1, "training seed")
 	bundle := fs.String("bundle", "", "also emit a versioned scorer bundle to this directory (train-once / serve-many)")
@@ -66,6 +68,9 @@ func run(args []string) error {
 	// Validate before the minutes of pre-training, not after.
 	prec, err := model.ParsePrecision(*precision)
 	if err != nil {
+		return err
+	}
+	if err := modality.Validate(*mod); err != nil {
 		return err
 	}
 	if *bundle != "" {
@@ -86,7 +91,7 @@ func run(args []string) error {
 	fmt.Printf("loaded %d lines from %s\n", len(ds.Samples), *data)
 
 	pcfg := core.PipelineConfig{
-		Preprocess: preprocess.Config{MinCommandFreq: *minFreq},
+		Preprocess: preprocess.Config{MinCommandFreq: *minFreq, Modality: *mod},
 		VocabSize:  *vocab,
 		Model: model.Config{
 			VocabSize: *vocab, MaxSeqLen: *seqLen, Hidden: *hidden,
@@ -118,14 +123,25 @@ func run(args []string) error {
 	if *bundle == "" {
 		return nil
 	}
-	// Bundle emit: the training log doubles as the labeled baseline, with
-	// supervision from the simulated commercial IDS — the same signal
-	// clmserve's warm start would derive, computed once here instead of at
-	// every service start.
+	// Bundle emit: the training log doubles as the labeled baseline. On the
+	// shell modality supervision comes from the simulated commercial IDS —
+	// the same signal clmserve's warm start would derive, computed once here
+	// instead of at every service start. The IDS rule set is shell-only, so
+	// other modalities fall back to the in-box oracle the log itself carries
+	// (an intrusion record whose variant is marked in-box), mirroring a rule
+	// set that knows exactly the known patterns.
 	baseLines := ds.Lines()
-	labels, err := commercial.Default().Label(baseLines, commercial.DefaultNoise(), *seed)
-	if err != nil {
-		return err
+	var labels []bool
+	if modality.Canonical(*mod) == modality.Shell {
+		labels, err = commercial.Default().Label(baseLines, commercial.DefaultNoise(), *seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		labels = make([]bool, len(ds.Samples))
+		for i, s := range ds.Samples {
+			labels[i] = s.Label == corpus.Intrusion && s.InBox
+		}
 	}
 	fmt.Printf("tuning %s head over %d baseline lines...\n", *method, len(baseLines))
 	bs, err := core.BuildScorerFull(pl, core.ScorerConfig{

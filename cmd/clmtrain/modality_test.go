@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTrainRejectsUnknownModality: the typo is rejected up front, before
+// the training data is even opened — so a bogus -data path never masks
+// the modality error, mirroring the -method fast-fail.
+func TestTrainRejectsUnknownModality(t *testing.T) {
+	err := run([]string{"-data", "/nonexistent", "-modality", "syslog"})
+	if err == nil || !strings.Contains(err.Error(), "powershell") ||
+		!strings.Contains(err.Error(), "flows") {
+		t.Fatalf("unknown modality error does not list registered names: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"clmids/internal/bpe"
+	"clmids/internal/modality"
 	"clmids/internal/model"
 	"clmids/internal/preprocess"
 	"clmids/internal/tuning"
@@ -48,6 +49,11 @@ const BundleFormat = "clmids-bundle v1"
 // errors with errors.Is.
 var ErrBundleCorrupt = errors.New("core: bundle corrupt")
 
+// ErrModalityMismatch flags a bundle whose modality differs from the one a
+// serving process is pinned to. The /reload path treats it like corruption:
+// reject the new bundle, keep the old scorer serving.
+var ErrModalityMismatch = errors.New("core: bundle modality mismatch")
+
 // File names inside a bundle directory (preprocessFile, tokenizerFile and
 // modelFile are shared with the pipeline layout in io.go). quantFile only
 // exists in low-precision bundles (manifest Precision != float64): it
@@ -82,6 +88,12 @@ type BundleManifest struct {
 	Version string `json:"version"`
 	// Method is the detection method of the head (core.ScorerMethods).
 	Method string `json:"method"`
+	// Modality names the log modality the stack was trained on (the
+	// registered validator/normalizer the filter state requires). Empty in
+	// pre-modality bundles and means shell. It is covered by the
+	// preprocess.json checksum — the filter state embeds the same name — so
+	// a manifest edit cannot silently retarget a bundle.
+	Modality string `json:"modality,omitempty"`
 	// Config is the ScorerConfig the head was built with.
 	Config ScorerConfig `json:"config"`
 	// Precision is the serve-path rung the bundle was emitted for; empty
@@ -149,6 +161,7 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 		Format:      BundleFormat,
 		Version:     version,
 		Method:      method,
+		Modality:    pl.Pre.Modality(),
 		Config:      bs.Config,
 		CreatedUnix: time.Now().Unix(),
 		Provenance:  bs.Provenance,
@@ -223,6 +236,22 @@ type LoadedBundle struct {
 	Scorer   tuning.Scorer
 }
 
+// Modality returns the canonical modality the bundle was trained on
+// ("shell" for pre-modality bundles).
+func (lb *LoadedBundle) Modality() string {
+	return modality.Canonical(lb.Manifest.Modality)
+}
+
+// CheckModality rejects a bundle whose modality differs from the one the
+// caller is pinned to, with an error wrapping ErrModalityMismatch. An empty
+// want means shell.
+func (lb *LoadedBundle) CheckModality(want string) error {
+	if got, pinned := lb.Modality(), modality.Canonical(want); got != pinned {
+		return fmt.Errorf("%w: bundle is %q, server pinned to %q", ErrModalityMismatch, got, pinned)
+	}
+	return nil
+}
+
 // LoadScorerBundle restores a bundle saved by SaveBundle: it verifies the
 // manifest format and every section checksum, then deserializes the
 // backbone, tokenizer, and head into the same LRU-cached engine-backed
@@ -243,6 +272,9 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 		return nil, fmt.Errorf("core: unknown bundle format %q (this build reads %q)", m.Format, BundleFormat)
 	}
 	if err := ValidateMethod(m.Method); err != nil {
+		return nil, fmt.Errorf("core: bundle manifest: %w", err)
+	}
+	if err := modality.Validate(m.Modality); err != nil {
 		return nil, fmt.Errorf("core: bundle manifest: %w", err)
 	}
 	prec, err := model.ParsePrecision(m.Precision)
@@ -278,6 +310,12 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	lb := &LoadedBundle{Manifest: m}
 	if lb.Pre, err = preprocess.Load(bytes.NewReader(raw[preprocessFile])); err != nil {
 		return nil, fmt.Errorf("core: bundle %s: %w", preprocessFile, err)
+	}
+	if want := modality.Canonical(m.Modality); lb.Pre.Modality() != want {
+		// The filter state is sha256-verified, so a disagreement means the
+		// manifest was edited by hand — treat it as corruption.
+		return nil, fmt.Errorf("%w: manifest says modality %q but filter state is %q",
+			ErrBundleCorrupt, want, lb.Pre.Modality())
 	}
 	if lb.Tok, err = bpe.Load(bytes.NewReader(raw[tokenizerFile])); err != nil {
 		return nil, fmt.Errorf("core: bundle %s: %w", tokenizerFile, err)

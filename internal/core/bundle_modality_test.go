@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clmids/internal/modality"
+)
+
+// TestBundleModalityRoundTrip: the manifest carries the pipeline's
+// modality, the loaded bundle exposes it canonically, and CheckModality
+// accepts the matching pin (and the adopt-anything empty pin) while
+// rejecting a cross-modality one with the typed mismatch error — the
+// contract clmserve's /reload builds its 409 on.
+func TestBundleModalityRoundTrip(t *testing.T) {
+	f := getBundleFixture(t)
+	bs, err := BuildScorerFull(f.pl, ScorerConfig{Method: "pca", Seed: 1}, f.baseLines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := SaveBundle(dir, f.pl, bs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Modality != modality.Shell {
+		t.Fatalf("manifest modality %q, want %q", man.Modality, modality.Shell)
+	}
+	lb, err := LoadScorerBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lb.Modality(); got != modality.Shell {
+		t.Fatalf("loaded modality %q, want %q", got, modality.Shell)
+	}
+	for _, pin := range []string{"", modality.Shell} {
+		if err := lb.CheckModality(pin); err != nil {
+			t.Errorf("pin %q rejected a shell bundle: %v", pin, err)
+		}
+	}
+	err = lb.CheckModality("flows")
+	if !errors.Is(err, ErrModalityMismatch) {
+		t.Fatalf("cross-modality pin error %v, want ErrModalityMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "shell") || !strings.Contains(err.Error(), "flows") {
+		t.Fatalf("mismatch error names neither side: %v", err)
+	}
+}
+
+// TestBundleModalityTamperRejected: the manifest's modality is
+// cross-checked against the sha256-verified filter state, so hand-editing
+// the manifest cannot relabel a bundle — a shell bundle rewritten to claim
+// "flows" fails the load as corruption, and an unregistered name fails
+// validation before any section is read.
+func TestBundleModalityTamperRejected(t *testing.T) {
+	f := getBundleFixture(t)
+	bs, err := BuildScorerFull(f.pl, ScorerConfig{Method: "pca", Seed: 1}, f.baseLines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relabel := func(t *testing.T, claim string) string {
+		t.Helper()
+		dir := t.TempDir()
+		if _, err := SaveBundle(dir, f.pl, bs, ""); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, ManifestFile)
+		mj, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m BundleManifest
+		if err := json.Unmarshal(mj, &m); err != nil {
+			t.Fatal(err)
+		}
+		m.Modality = claim
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	if _, err := LoadScorerBundle(relabel(t, "flows")); !errors.Is(err, ErrBundleCorrupt) {
+		t.Fatalf("relabeled bundle load: %v, want ErrBundleCorrupt", err)
+	}
+	if _, err := LoadScorerBundle(relabel(t, "syslog")); err == nil ||
+		!strings.Contains(err.Error(), "powershell") {
+		t.Fatalf("unregistered modality error does not list registered names: %v", err)
+	}
+}

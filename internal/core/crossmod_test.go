@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrossModalityValidatesUpFront: a typoed modality or method fails
+// before any corpus synthesis or training, with the registered list in
+// the error.
+func TestCrossModalityValidatesUpFront(t *testing.T) {
+	cfg := DefaultCrossModality()
+	cfg.Modalities = []string{"syslog"}
+	if _, err := RunCrossModality(cfg); err == nil ||
+		!strings.Contains(err.Error(), "powershell") {
+		t.Fatalf("unknown modality error does not list registered names: %v", err)
+	}
+	cfg = DefaultCrossModality()
+	cfg.Methods = []string{"classifer"}
+	if _, err := RunCrossModality(cfg); err == nil ||
+		!strings.Contains(err.Error(), "classifier") {
+		t.Fatalf("unknown method error does not list valid methods: %v", err)
+	}
+}
+
+// TestCrossModalityNewModalities pins the PR's acceptance criterion: the
+// unchanged serving stack, trained per modality through the registry,
+// separates attacks from benign traffic on BOTH new modalities — attack
+// AUC above 0.5 for every method run — and the rendered table names each
+// modality and method. Restricted to the two new modalities and the two
+// cheap methods to keep `go test ./...` tolerable; the full 3×4 matrix is
+// `clmrepro -exp crossmod`.
+func TestCrossModalityNewModalities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline per modality")
+	}
+	cfg := DefaultCrossModality()
+	cfg.Modalities = []string{"powershell", "flows"}
+	cfg.Methods = []string{"classifier", "retrieval"}
+	res, err := RunCrossModality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	for _, name := range cfg.Modalities {
+		row := res.Row(name)
+		if row == nil {
+			t.Fatalf("no row for modality %s", name)
+		}
+		if row.TrainKept == 0 || row.TestKept == 0 {
+			t.Fatalf("%s: empty filtered corpus (%d train / %d test kept)",
+				name, row.TrainKept, row.TestKept)
+		}
+		if row.TrainIntrusions == 0 || row.TestIntrusions == 0 {
+			t.Fatalf("%s: corpus has no intrusions (%d/%d)",
+				name, row.TrainIntrusions, row.TestIntrusions)
+		}
+		if row.Unparsable < 0 {
+			t.Fatalf("%s: negative unparsable count %d", name, row.Unparsable)
+		}
+		if len(row.Methods) != len(cfg.Methods) {
+			t.Fatalf("%s: %d method evals, want %d", name, len(row.Methods), len(cfg.Methods))
+		}
+		for _, m := range row.Methods {
+			if !(m.AUC > 0.5) {
+				t.Errorf("%s/%s: attack AUC %.3f, want > 0.5", name, m.Method, m.AUC)
+			}
+			for what, rate := range map[string]float64{
+				"intrusion alarm": m.IntrusionSessionAlarm,
+				"benign alarm":    m.BenignSessionAlarm,
+			} {
+				if rate < 0 || rate > 1 {
+					t.Errorf("%s/%s: %s rate %v outside [0,1]", name, m.Method, what, rate)
+				}
+			}
+		}
+	}
+	if res.Row("shell") != nil {
+		t.Fatal("shell row present in a run restricted to the new modalities")
+	}
+
+	var buf strings.Builder
+	res.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"powershell", "flows", "classifier", "retrieval", "AUC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"clmids/internal/bpe"
 	"clmids/internal/commercial"
+	"clmids/internal/modality"
 	"clmids/internal/model"
 	"clmids/internal/preprocess"
 	"clmids/internal/pretrain"
@@ -66,11 +67,15 @@ func BuildPipeline(trainLines []string, cfg PipelineConfig) (*Pipeline, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if err := modality.Validate(cfg.Preprocess.Modality); err != nil {
+		// Fail before any training, with the registered-names listing.
+		return nil, err
+	}
 
 	pre := preprocess.New(cfg.Preprocess)
 	res := pre.FitProcess(trainLines)
-	logf("preprocess: kept %d/%d lines (%d invalid, %d rare-command)",
-		len(res.Kept), len(trainLines), res.DroppedInvalid, res.DroppedRare)
+	logf("preprocess[%s]: kept %d/%d lines (%d invalid, %d rare-command, %d unparsable at fit)",
+		pre.Modality(), len(res.Kept), len(trainLines), res.DroppedInvalid, res.DroppedRare, pre.Unparsable())
 	if len(res.Kept) == 0 {
 		return nil, fmt.Errorf("core: pre-processing removed every line")
 	}

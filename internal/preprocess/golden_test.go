@@ -1,0 +1,124 @@
+package preprocess
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"clmids/internal/corpus"
+)
+
+func isUnparsable(err error) bool { return errors.Is(err, ErrUnparsable) }
+
+func asRare(err error, target **RareCommandError) bool { return errors.As(err, target) }
+
+// testdata/shell_golden.json was captured from the pre-modality
+// implementation (hard-coded shell.Parse calls): FitProcess over the seeded
+// 1200/600 corpus, recording every line's drop reason, canonical form,
+// command units, and the fitted frequency table. The registry-backed shell
+// modality must reproduce it byte for byte.
+
+type goldenRec struct {
+	Line     string   `json:"line"`
+	Reason   string   `json:"reason"`
+	Canon    string   `json:"canon,omitempty"`
+	Commands []string `json:"commands,omitempty"`
+}
+
+type goldenFile struct {
+	Records []goldenRec    `json:"records"`
+	Freq    []CommandCount `json:"freq"`
+}
+
+func TestShellGoldenParity(t *testing.T) {
+	raw, err := os.ReadFile("testdata/shell_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := corpus.DefaultConfig()
+	cfg.TrainLines, cfg.TestLines, cfg.Seed = 1200, 600, 42
+	cfg.IntrusionRate = 0.2
+	train, _, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := train.Lines()
+	if len(lines) != len(want.Records) {
+		t.Fatalf("corpus drifted: %d lines, golden has %d", len(lines), len(want.Records))
+	}
+
+	p := New(DefaultConfig())
+	res := p.FitProcess(lines)
+
+	kept := 0
+	for i, line := range lines {
+		w := want.Records[i]
+		if line != w.Line {
+			t.Fatalf("line %d drifted:\n got  %q\n want %q", i, line, w.Line)
+		}
+		if got := res.Reasons[i].String(); got != w.Reason {
+			t.Fatalf("line %d (%q) reason = %s, want %s", i, line, got, w.Reason)
+		}
+		if res.Reasons[i] != KeptLine {
+			continue
+		}
+		rec := res.Kept[kept]
+		kept++
+		if rec.Line != w.Canon {
+			t.Fatalf("line %d canonical form = %q, want %q", i, rec.Line, w.Canon)
+		}
+		if len(rec.Commands) != len(w.Commands) {
+			t.Fatalf("line %d commands = %v, want %v", i, rec.Commands, w.Commands)
+		}
+		for j := range rec.Commands {
+			if rec.Commands[j] != w.Commands[j] {
+				t.Fatalf("line %d commands = %v, want %v", i, rec.Commands, w.Commands)
+			}
+		}
+	}
+	if kept != len(res.Kept) {
+		t.Fatalf("consumed %d kept records, result has %d", kept, len(res.Kept))
+	}
+
+	freq := p.Frequencies()
+	if len(freq) != len(want.Freq) {
+		t.Fatalf("frequency table has %d entries, golden has %d", len(freq), len(want.Freq))
+	}
+	for i := range freq {
+		if freq[i] != want.Freq[i] {
+			t.Fatalf("frequency row %d = %+v, want %+v", i, freq[i], want.Freq[i])
+		}
+	}
+}
+
+// TestCheckLineTypedErrors covers the typed-error path that replaced silent
+// drops: unparsable lines wrap ErrUnparsable, rare commands name the unit.
+func TestCheckLineTypedErrors(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Fit([]string{"ls -la /srv", "ls /data", "ls /tmp", "cat 'oops", "grep x y"})
+	if p.Unparsable() != 1 {
+		t.Errorf("Unparsable = %d, want 1", p.Unparsable())
+	}
+	if _, err := p.CheckLine("echo 'unterminated"); err == nil {
+		t.Fatal("unparsable line accepted")
+	} else if !isUnparsable(err) {
+		t.Errorf("unparsable error = %v, want ErrUnparsable", err)
+	}
+	_, err := p.CheckLine("grep x y")
+	var rare *RareCommandError
+	if !asRare(err, &rare) {
+		t.Fatalf("rare-command error = %v, want *RareCommandError", err)
+	}
+	if rare.Name != "grep" || rare.Count != 1 {
+		t.Errorf("rare = %+v, want grep/1", rare)
+	}
+	if rec, err := p.CheckLine("ls   -la"); err != nil || rec.Line != "ls -la" {
+		t.Errorf("kept line = %+v, %v", rec, err)
+	}
+}

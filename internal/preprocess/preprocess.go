@@ -1,17 +1,40 @@
-// Package preprocess implements the Fig. 2 pre-processing stage: a shell
-// parser rejects syntactically invalid log records, and a command-frequency
-// filter removes lines whose command names occur too rarely to be real
-// (typos like "dcoker" or "chdmod"). Optionally, an explicit allowlist of
-// known host commands can be supplied instead of (or in addition to) the
-// frequency criterion, matching the two options the paper describes.
+// Package preprocess implements the Fig. 2 pre-processing stage: the
+// modality's validator rejects syntactically invalid log records, and a
+// command-frequency filter removes lines whose command units occur too
+// rarely to be real (typos like "dcoker" or "chdmod"). Optionally, an
+// explicit allowlist of known host commands can be supplied instead of (or
+// in addition to) the frequency criterion, matching the two options the
+// paper describes.
+//
+// The validator and normalizer are pluggable (internal/modality): the
+// default Unix-shell modality parses with the recursive-descent shell
+// parser, while PowerShell and network-flow modalities supply their own
+// grammars. The filter logic itself is modality-agnostic.
 package preprocess
 
 import (
 	"fmt"
 	"sort"
 
-	"clmids/internal/shell"
+	"clmids/internal/modality"
 )
+
+// ErrUnparsable is the modality sentinel for lines that fail validation,
+// re-exported so preprocessing callers can errors.Is against this package.
+var ErrUnparsable = modality.ErrUnparsable
+
+// RareCommandError reports the command unit that failed the frequency
+// filter.
+type RareCommandError struct {
+	// Name is the offending command unit.
+	Name string
+	// Count is how often it occurred in the fitted corpus.
+	Count int
+}
+
+func (e *RareCommandError) Error() string {
+	return fmt.Sprintf("preprocess: rare command %q (%d occurrences)", e.Name, e.Count)
+}
 
 // DropReason explains why a line was removed.
 type DropReason int
@@ -20,9 +43,9 @@ type DropReason int
 const (
 	// KeptLine means the line passed all filters.
 	KeptLine DropReason = iota
-	// DropInvalid means the shell parser rejected the line.
+	// DropInvalid means the modality's validator rejected the line.
 	DropInvalid
-	// DropRareCommand means a command name failed the frequency filter.
+	// DropRareCommand means a command unit failed the frequency filter.
 	DropRareCommand
 )
 
@@ -42,16 +65,20 @@ func (r DropReason) String() string {
 
 // Config controls the filter.
 type Config struct {
-	// MinCommandFreq keeps a command name only if it occurs at least this
+	// MinCommandFreq keeps a command unit only if it occurs at least this
 	// many times in the fitted corpus. Zero disables the absolute test.
 	MinCommandFreq int
-	// MinCommandFrac keeps a command name only if its share of all command
+	// MinCommandFrac keeps a command unit only if its share of all command
 	// occurrences is at least this fraction. Zero disables the test.
 	MinCommandFrac float64
 	// KnownCommands, when non-empty, always pass the frequency filter
 	// (the paper's "exhaustively collecting all valid commands in the host
 	// environment" alternative).
 	KnownCommands []string
+	// Modality names the registered log modality whose validator and
+	// normalizer this filter runs; empty means the default Unix-shell
+	// modality (and keeps pre-modality saved states loading unchanged).
+	Modality string `json:",omitempty"`
 }
 
 // DefaultConfig uses a small absolute threshold, appropriate for corpora of
@@ -66,7 +93,7 @@ type Record struct {
 	Index int
 	// Line is the canonical (whitespace-normalized) form.
 	Line string
-	// Commands are the path-stripped command names on the line.
+	// Commands are the distinct command units on the line.
 	Commands []string
 }
 
@@ -88,41 +115,56 @@ type Result struct {
 // Preprocessor filters command lines. Fit must be called before Process
 // unless KnownCommands is provided and MinCommandFreq/MinCommandFrac are 0.
 type Preprocessor struct {
-	cfg     Config
-	freq    map[string]int
-	total   int
-	allowed map[string]bool
-	fitted  bool
+	cfg        Config
+	mod        modality.Modality
+	freq       map[string]int
+	total      int
+	allowed    map[string]bool
+	fitted     bool
+	unparsable int
 }
 
-// New creates a Preprocessor.
+// New creates a Preprocessor. The configured modality must be registered;
+// every user-facing entry point (flags, artifact loads) validates the name
+// first, so an unknown modality here is a programming error and panics.
 func New(cfg Config) *Preprocessor {
 	allowed := make(map[string]bool, len(cfg.KnownCommands))
 	for _, c := range cfg.KnownCommands {
 		allowed[c] = true
 	}
-	return &Preprocessor{cfg: cfg, freq: make(map[string]int), allowed: allowed}
+	return &Preprocessor{
+		cfg:     cfg,
+		mod:     modality.MustGet(cfg.Modality),
+		freq:    make(map[string]int),
+		allowed: allowed,
+	}
 }
 
-// Fit counts command-name occurrences over the corpus (invalid lines are
-// skipped: they never contribute frequency mass). Fit may be called several
-// times to accumulate counts over streamed chunks.
+// Modality returns the canonical name of the modality this filter runs.
+func (p *Preprocessor) Modality() string { return p.mod.Name() }
+
+// Fit counts command-unit occurrences over the corpus (invalid lines are
+// skipped: they never contribute frequency mass, but they are tallied in
+// Unparsable). Fit may be called several times to accumulate counts over
+// streamed chunks.
 func (p *Preprocessor) Fit(lines []string) {
 	for _, line := range lines {
-		ast, err := shell.Parse(line)
+		rec, err := p.mod.Parse(line)
 		if err != nil {
+			p.unparsable++
 			continue
 		}
-		for _, inv := range ast.Invocations() {
-			if inv.Name == "" {
-				continue
-			}
-			p.freq[inv.Name]++
+		for _, name := range rec.Occurrences {
+			p.freq[name]++
 			p.total++
 		}
 	}
 	p.fitted = true
 }
+
+// Unparsable returns the number of lines the validator rejected during Fit,
+// the corpus build's data-quality counter.
+func (p *Preprocessor) Unparsable() int { return p.unparsable }
 
 // Frequencies returns the Fig. 2 occurrence table, most frequent first
 // (ties broken alphabetically for determinism).
@@ -160,19 +202,34 @@ func (p *Preprocessor) commandOK(name string) bool {
 	return true
 }
 
-// Check classifies a single line without mutating state.
-func (p *Preprocessor) Check(line string) (Record, DropReason) {
-	ast, err := shell.Parse(line)
+// CheckLine classifies a single line, returning a typed error instead of a
+// silent drop: validation failures wrap modality.ErrUnparsable (with the
+// grammar's detail preserved), frequency-filter failures return a
+// *RareCommandError naming the offending unit.
+func (p *Preprocessor) CheckLine(line string) (Record, error) {
+	rec, err := p.mod.Parse(line)
 	if err != nil {
-		return Record{}, DropInvalid
+		return Record{}, err
 	}
-	names := ast.CommandNames()
-	for _, n := range names {
+	for _, n := range rec.Commands {
 		if !p.commandOK(n) {
-			return Record{}, DropRareCommand
+			return Record{}, &RareCommandError{Name: n, Count: p.freq[n]}
 		}
 	}
-	return Record{Line: ast.String(), Commands: names}, KeptLine
+	return Record{Line: rec.Line, Commands: rec.Commands}, nil
+}
+
+// Check classifies a single line without mutating state.
+func (p *Preprocessor) Check(line string) (Record, DropReason) {
+	rec, err := p.CheckLine(line)
+	switch err.(type) {
+	case nil:
+		return rec, KeptLine
+	case *RareCommandError:
+		return Record{}, DropRareCommand
+	default:
+		return Record{}, DropInvalid
+	}
 }
 
 // Process filters a corpus, returning kept records and per-line reasons.

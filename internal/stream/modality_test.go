@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"testing"
+
+	"clmids/internal/tuning"
+)
+
+// TestModalityStamp: the served modality stamps detector stats, propagates
+// to every shard of a sharded detector, and survives a scorer hot-swap —
+// reloads reject cross-modality bundles before the swap, so the stamp is
+// stable for the life of the service.
+func TestModalityStamp(t *testing.T) {
+	d := NewDetector(&genScorer{gen: 1}, DefaultConfig())
+	if got := d.Stats().Modality; got != "" {
+		t.Fatalf("fresh detector modality %q, want empty", got)
+	}
+	d.SetModality("powershell")
+	if got := d.Stats().Modality; got != "powershell" {
+		t.Fatalf("detector stats modality %q, want powershell", got)
+	}
+	if got := d.Modality(); got != "powershell" {
+		t.Fatalf("detector modality %q, want powershell", got)
+	}
+
+	scorers := make([]tuning.Scorer, 3)
+	for i := range scorers {
+		scorers[i] = &genScorer{gen: 1}
+	}
+	sd, err := NewShardedDetector(scorers, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd.SetModality("flows")
+	if got := sd.Modality(); got != "flows" {
+		t.Fatalf("sharded modality %q, want flows", got)
+	}
+	for i := 0; i < sd.Shards(); i++ {
+		if got := sd.Shard(i).Stats().Modality; got != "flows" {
+			t.Fatalf("shard %d modality %q, want flows", i, got)
+		}
+	}
+	if got := sd.Stats().Modality; got != "flows" {
+		t.Fatalf("aggregate stats modality %q, want flows", got)
+	}
+
+	// A scorer swap changes the version, never the modality.
+	if err := sd.SwapScorer(&genScorer{gen: 2}, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sd.Stats().Modality; got != "flows" {
+		t.Fatalf("post-swap modality %q, want flows", got)
+	}
+
+	svc := NewShardedService(sd, ServiceConfig{QueueRequests: 2, BatchEvents: 16})
+	defer svc.Close()
+	if got := svc.Modality(); got != "flows" {
+		t.Fatalf("service modality %q, want flows", got)
+	}
+	if got := svc.Stats().Modality; got != "flows" {
+		t.Fatalf("service stats modality %q, want flows", got)
+	}
+}

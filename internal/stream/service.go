@@ -453,6 +453,13 @@ func (s *Service) SwapScorer(sc tuning.Scorer, version string) error {
 // ScorerVersion returns the active scorer artifact version.
 func (s *Service) ScorerVersion() string { return s.sd.ScorerVersion() }
 
+// SetModality stamps the served log modality on every shard (surfaced in
+// Stats; reloads cannot change it because mismatched bundles are rejected).
+func (s *Service) SetModality(m string) { s.sd.SetModality(m) }
+
+// Modality returns the stamped log modality.
+func (s *Service) Modality() string { return s.sd.Modality() }
+
 // Sharded exposes the wrapped sharded detector.
 func (s *Service) Sharded() *ShardedDetector { return s.sd }
 

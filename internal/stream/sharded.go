@@ -218,12 +218,26 @@ func (d *ShardedDetector) SetScorerVersion(version string) {
 // SwapScorer keep every shard on the same one.
 func (d *ShardedDetector) ScorerVersion() string { return d.dets[0].ScorerVersion() }
 
+// SetModality stamps the served log modality on every shard. SwapScorer
+// deliberately leaves it untouched: serving processes reject
+// modality-mismatched bundles before swapping, so the stamp outlives
+// reloads.
+func (d *ShardedDetector) SetModality(m string) {
+	for _, det := range d.dets {
+		det.SetModality(m)
+	}
+}
+
+// Modality returns shard 0's stamped log modality (every shard carries the
+// same one).
+func (d *ShardedDetector) Modality() string { return d.dets[0].Modality() }
+
 // Stats returns counters summed across shards. ScoredInputs is the sum of
 // per-shard dedup counts, so it can exceed the unsharded figure when the
 // same line reaches users on different shards. ScorerVersion is shard 0's
 // (every shard carries the same one).
 func (d *ShardedDetector) Stats() Stats {
-	total := Stats{ScorerVersion: d.ScorerVersion()}
+	total := Stats{ScorerVersion: d.ScorerVersion(), Modality: d.Modality()}
 	for _, det := range d.dets {
 		s := det.Stats()
 		total.Events += s.Events

@@ -226,6 +226,11 @@ type Stats struct {
 	// version for bundle-loaded scorers); empty when never set. Set at
 	// construction time via SwapScorer or ShardedDetector.SetScorerVersion.
 	ScorerVersion string `json:"scorer_version,omitempty"`
+	// Modality names the log modality the active scorer was trained for
+	// (the bundle manifest's modality); empty when never set. The reload
+	// path rejects modality-mismatched bundles, so this is stable for the
+	// life of the service.
+	Modality string `json:"modality,omitempty"`
 }
 
 // entry is one retained window line.
@@ -258,6 +263,7 @@ type Detector struct {
 	stats     Stats
 	highWater int64  // latest event time seen, for event-time EvictIdle sweeps
 	version   string // active scorer artifact version, surfaced in Stats
+	modality  string // log modality the scorer serves, surfaced in Stats
 
 	// Poison quarantine: scoring inputs the scorer reproducibly panicked
 	// on, isolated by batch bisection. quar is guarded by mu; quarLen
@@ -745,6 +751,22 @@ func (d *Detector) ScorerVersion() string {
 	return d.version
 }
 
+// SetModality stamps the log modality the detector serves (surfaced in
+// Stats). Unlike the version it never changes over a detector's life:
+// hot-reload rejects modality-mismatched bundles before any swap.
+func (d *Detector) SetModality(m string) {
+	d.mu.Lock()
+	d.modality = m
+	d.mu.Unlock()
+}
+
+// Modality returns the stamped log modality.
+func (d *Detector) Modality() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.modality
+}
+
 // EvictIdle removes sessions whose last event is more than IdleTimeout
 // seconds before now, bounding memory across a large user population, and
 // returns how many were evicted. Services call it periodically with the
@@ -780,6 +802,7 @@ func (d *Detector) Stats() Stats {
 	s := d.stats
 	s.ActiveSessions = len(d.sessions)
 	s.ScorerVersion = d.version
+	s.Modality = d.modality
 	s.QuarantineSample = append([]string(nil), d.quarSamples...)
 	return s
 }
