@@ -16,8 +16,10 @@ import (
 	"testing"
 
 	"clmids/internal/anomaly"
+	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/modality"
 	"clmids/internal/model"
 	"clmids/internal/preprocess"
 	"clmids/internal/stream"
@@ -272,6 +274,102 @@ func BenchmarkInferenceThroughputTape(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// cascadeBenchScorer builds a cold (cache off) cascade over the bench
+// fixture: the f64 retrieval scorer as the confirm rung, its int8 variant
+// as the triage rung, and a rarity table calibrated on the training split —
+// the composition clmserve -cascade serves. Retrieval (not PCA) because
+// calibration needs O(1)-magnitude scores; the tiny PCA head's
+// reconstruction errors sit at the float rounding floor, where the int8
+// rung's quantization noise swamps the escalation band.
+func cascadeBenchScorer(b *testing.B) *tuning.CascadeScorer {
+	b.Helper()
+	pl, _ := inferBenchFixture(b)
+	ecfg := tuning.DefaultEngineConfig()
+	ecfg.CacheLines = 0
+	engine := tuning.NewEngine(pl.Model.Encoder, pl.Tok, ecfg)
+	emb, err := engine.EmbedLines(inferBenchTrain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, err := commercial.Default().Label(inferBenchTrain, commercial.DefaultNoise(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ret := anomaly.NewRetrieval(1)
+	if err := ret.FitLabeled(emb, labels); err != nil {
+		b.Fatal(err)
+	}
+	confirm := tuning.NewRetrievalScorer(engine, ret)
+	// Calibrate on a full-sized training log, as clmtrain does: the clear
+	// threshold's reach tracks the rarity table's unit coverage, and the 400
+	// lines the tiny bench pipeline trains on undersell it badly.
+	ccfg := corpus.DefaultConfig()
+	ccfg.Seed = 3
+	calib, _, err := corpus.Generate(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	art, err := core.CalibrateCascade(confirm, modality.Shell, calib.Lines(), core.DefaultCascadeConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	casc, err := core.BuildCascade(confirm, art)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return casc
+}
+
+// BenchmarkCascadeCold measures the scoring cascade's worst case: caches
+// off, every uncleared line pays full encoder cost on the int8 triage rung
+// and escalations pay it again at float64. The acceptance bar (ROADMAP item
+// 1) is ≥3× BenchmarkInferenceThroughputCold's f64 lines/s; the per-rung
+// traffic split is reported as custom metrics so the gate can see where the
+// speedup comes from.
+func BenchmarkCascadeCold(b *testing.B) {
+	casc := cascadeBenchScorer(b)
+	_, lines := inferBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := casc.Score(inferBenchWindowAt(lines, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	total := float64(inferBenchWindow) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "lines/s")
+	st := casc.CascadeStats()
+	b.ReportMetric(float64(st.Cleared)/total, "cleared-frac")
+	b.ReportMetric(float64(st.Escalated)/total, "escalated-frac")
+}
+
+// BenchmarkCascadeRarityFilter isolates rung 0: parsing a window and
+// looking up its unit rarities, with no model in the loop. Its lines/s is
+// the ceiling the cascade approaches as the clear fraction goes to one, and
+// documents that the pre-filter is cheap enough to sit in front of every
+// line.
+func BenchmarkCascadeRarityFilter(b *testing.B) {
+	_, lines := inferBenchFixture(b)
+	rt, err := tuning.FitRarity(modality.Shell, inferBenchTrain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, line := range inferBenchWindowAt(lines, i) {
+			sink += rt.Rarity(line)
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("rarity sink is zero; fixture broken")
+	}
 	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
 }
 

@@ -1,0 +1,93 @@
+package clmids
+
+import (
+	"testing"
+
+	"clmids/internal/core"
+	"clmids/internal/metrics"
+	"clmids/internal/modality"
+	"clmids/internal/model"
+)
+
+// Corpus-level parity harness for the scoring cascade (rarity pre-filter →
+// int8 triage → f64 confirm). The acceptance gate mirrors the precision
+// ladder's: on a replayed corpus at a stability-checked threshold, the
+// cascade raises exactly the session alarms the f64-only scorer raises,
+// while every rung genuinely absorbs traffic. The AUC gate is one-sided:
+// collapsing the cleared benign mass to the calibrated ClearScore removes
+// ranking noise below the escalation band, which typically nudges AUC up —
+// only a drop (intrusions sinking relative to benign lines) is a fidelity
+// regression, and it may not exceed this bound.
+const cascadeAUCDrop = 0.05
+
+func TestCascadeCorpusParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus parity harness builds a pipeline")
+	}
+	f64Scorer, train, test := parityFixture(t)
+
+	art, err := core.CalibrateCascade(f64Scorer, modality.Shell, train.Lines(), core.DefaultCascadeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	casc, err := core.BuildCascade(f64Scorer, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1 (float64, thresholds off): learn a stable session threshold.
+	probe := runStream(t, atPrecision(t, f64Scorer, model.PrecisionFloat64), test, 0)
+	sessScores := make([]float64, len(probe))
+	for i, v := range probe {
+		sessScores[i] = v.SessionScore
+	}
+	thr := stableThreshold(t, sessScores)
+
+	want := runStream(t, f64Scorer, test, thr)
+	wantAlarms := 0
+	for _, v := range want {
+		if v.SessionAlert {
+			wantAlarms++
+		}
+	}
+	if wantAlarms == 0 {
+		t.Fatalf("threshold %g produced no session alarms; harness is vacuous", thr)
+	}
+
+	got := runStream(t, casc, test, thr)
+	if len(got) != len(want) {
+		t.Fatalf("%d verdicts, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].SessionAlert != want[i].SessionAlert {
+			t.Fatalf("event %d (%q): cascade session alarm %v, float64 says %v",
+				i, got[i].Line, got[i].SessionAlert, want[i].SessionAlert)
+		}
+	}
+
+	// The parity claim is only meaningful if the cascade actually routed
+	// traffic down different rungs rather than escalating everything.
+	st := casc.CascadeStats()
+	if st.Cleared == 0 {
+		t.Errorf("rarity pre-filter cleared nothing on the replay: %+v", st)
+	}
+	if st.Triaged == 0 || st.Escalated == 0 {
+		t.Errorf("model rungs idle on the replay: %+v", st)
+	}
+	if st.Escalated >= st.Triaged {
+		t.Errorf("escalation band swallowed the whole triage rung: %+v", st)
+	}
+
+	f64AUC, err := metrics.ROCAUC(scoredItems(t, f64Scorer, test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := metrics.ROCAUC(scoredItems(t, casc, test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop := f64AUC - auc; drop > cascadeAUCDrop {
+		t.Errorf("AUC %g vs float64 %g: drop %g > %g", auc, f64AUC, drop, cascadeAUCDrop)
+	}
+	t.Logf("cascade: alarms %d, rungs %+v, AUC %.4f (f64 %.4f)", wantAlarms, st, auc, f64AUC)
+}

@@ -17,6 +17,10 @@
 // fails — because absolute lines/s moves with runner hardware; the
 // baseline should be refreshed (parse mode on a representative runner,
 // commit the JSON) whenever the fleet or the fixture changes.
+//
+// Docs mode (exit status 1 on any violation; see docs.go):
+//
+//	benchgate -docs -root .
 package main
 
 import (
@@ -64,6 +68,8 @@ func main() {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	parse := fs.Bool("parse", false, "parse `go test -bench` output from stdin into report JSON on stdout")
 	compare := fs.Bool("compare", false, "compare -pr against -baseline and gate on -gate")
+	docs := fs.Bool("docs", false, "lint repo documentation: intra-repo markdown links and exported doc comments")
+	root := fs.String("root", ".", "repo root for -docs")
 	baselinePath := fs.String("baseline", "BENCH_BASELINE.json", "checked-in baseline report")
 	prPath := fs.String("pr", "BENCH_PR.json", "report for the change under test")
 	gate := fs.String("gate", "BenchmarkStreamingThroughput", "benchmark whose regression fails the gate")
@@ -71,10 +77,30 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	modes := 0
+	for _, on := range []bool{*parse, *compare, *docs} {
+		if on {
+			modes++
+		}
+	}
 	switch {
-	case *parse == *compare:
-		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -parse or -compare required")
+	case modes != 1:
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -parse, -compare, or -docs required")
 		os.Exit(2)
+	case *docs:
+		problems, err := lintDocs(*root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		if len(problems) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d documentation problem(s)\n", len(problems))
+			os.Exit(1)
+		}
+		fmt.Println("OK: markdown links resolve and exported identifiers are documented")
 	case *parse:
 		rep, err := parseBench(os.Stdin)
 		if err == nil {

@@ -67,6 +67,7 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 8, "classifier tuning epochs")
 	seed := fs.Int64("seed", 1, "tuning seed")
 	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides)")
+	cascade := fs.Bool("cascade", false, "score through the cascade: rarity pre-filter -> int8 triage -> f64 confirm (with -bundle the bundle must carry a cascade section; without, thresholds are calibrated from the baseline)")
 	modalityPin := fs.String("modality", "", "expected log modality ("+modality.FlagHelp()+"): a bundle or pipeline trained for another modality is rejected; empty accepts whatever the artifact carries")
 	follow := fs.Bool("follow", false, "stream mode: score lines as they arrive, with session aggregation")
 	shards := fs.Int("shards", 1, "follow mode detector shards keyed by hash(user) (0 = GOMAXPROCS); follow mode scores line by line, so this costs a scorer replica per shard and buys parity with a sharded clmserve, not throughput")
@@ -88,6 +89,9 @@ func run(args []string) error {
 		if prec, err = model.ParsePrecision(*precision); err != nil {
 			return err
 		}
+	}
+	if *cascade && *precision != "" {
+		return fmt.Errorf("-cascade and -precision are mutually exclusive: the cascade serves int8 triage with float64 confirm")
 	}
 	// A typoed modality fails here with the registered list, before the
 	// model loads — the same fast-fail UX as -method.
@@ -112,6 +116,11 @@ func run(args []string) error {
 			}
 		}
 		scorer, *method = lb.Scorer, lb.Manifest.Method
+		if *cascade {
+			if scorer, err = core.BuildCascade(lb.Scorer, lb.Cascade); err != nil {
+				return err
+			}
+		}
 		if *precision != "" {
 			if err := tuning.SetScorerPrecision(scorer, prec); err != nil {
 				return err
@@ -143,6 +152,15 @@ func run(args []string) error {
 		}, baseLines, labels)
 		if err != nil {
 			return err
+		}
+		if *cascade {
+			art, err := core.CalibrateCascade(scorer, pl.Pre.Modality(), baseLines, core.DefaultCascadeConfig())
+			if err != nil {
+				return err
+			}
+			if scorer, err = core.BuildCascade(scorer, art); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -211,6 +229,11 @@ func batchDetect(scorer tuning.Scorer, ids *commercial.IDS, method, input string
 		fmt.Printf("%3d. %10.4f %s %s\n", r+1, scores[i], flag, lines[i])
 	}
 	fmt.Println("(* = also flagged by the simulated commercial IDS)")
+	if cs, ok := scorer.(tuning.CascadeStatser); ok {
+		st := cs.CascadeStats()
+		fmt.Printf("cascade rungs: %d cleared, %d int8-triaged, %d f64-confirmed\n",
+			st.Cleared, st.Triaged, st.Escalated)
+	}
 	return nil
 }
 

@@ -25,7 +25,8 @@
 //	              503 until the scorer is ready.
 //	GET  /stats   JSON snapshot of detector + queue counters, aggregated
 //	              and per shard (queue depth, LRU hit rate, active scorer
-//	              bundle version).
+//	              bundle version; with -cascade, the per-rung traffic
+//	              split: cleared / triaged / escalated).
 //	GET  /healthz liveness: 200 from the moment the socket is open, even
 //	              during the potentially minutes-long scorer build/load.
 //	GET  /readyz  readiness: 503 until the scorer is serving — the probe
@@ -116,6 +117,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "detector shards keyed by hash(user) (0 = GOMAXPROCS); each shard scores concurrently on its own scorer replica")
 	modalityPin := fs.String("modality", "", "pin the served log modality ("+modality.FlagHelp()+"): the startup artifact and every reload must match, or they are rejected; empty adopts the first loaded artifact's modality")
 	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides; applies at startup, reloads follow their bundle's manifest)")
+	cascade := fs.Bool("cascade", false, "serve the scoring cascade: rarity pre-filter -> int8 triage -> f64 confirm (with -bundle the bundle must carry a cascade section, see clmtrain -cascade; without, thresholds are calibrated from the baseline at startup); per-rung traffic shows in /stats")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this extra debug listener (e.g. 127.0.0.1:6060); scoring, liveness, and readiness stay on -addr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +137,11 @@ func run(args []string) error {
 		if prec, err = model.ParsePrecision(*precision); err != nil {
 			return err
 		}
+	}
+	if *cascade && *precision != "" {
+		// The cascade pins its own rungs (int8 triage, f64 confirm); a
+		// flat-precision override contradicts it.
+		return errors.New("-cascade and -precision are mutually exclusive: the cascade serves int8 triage with float64 confirm")
 	}
 
 	agg, err := stream.ParseAggregation(*aggregation)
@@ -167,7 +174,7 @@ func run(args []string) error {
 	// build/load below finishes, so restart supervisors see a live process
 	// and load balancers see a not-yet-ready replica instead of a black
 	// hole during the (potentially minutes-long) warm start.
-	d := newDaemon(*bundleDir)
+	d := newDaemon(*bundleDir, *cascade)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -221,6 +228,14 @@ func run(args []string) error {
 		scorer, version, *method = lb.Scorer, lb.Manifest.Version, lb.Manifest.Method
 		served = lb.Modality()
 		fmt.Fprintf(os.Stderr, "clmserve: loaded %s bundle %s (modality %s, no tuning)\n", *method, version, served)
+		if *cascade {
+			if scorer, err = core.BuildCascade(lb.Scorer, lb.Cascade); err != nil {
+				server.Close()
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "clmserve: serving the scoring cascade (clear<=%.3g, escalate>=%.4g)\n",
+				lb.Cascade.Params.ClearThreshold, lb.Cascade.Params.EscalateLow)
+		}
 		if *precision != "" {
 			// Startup override: rebind the serving engine before any
 			// replica exists; the head and backbone are untouched.
@@ -231,7 +246,7 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "clmserve: serving at %s precision\n", prec)
 		}
 	} else {
-		scorer, served, err = buildScorerFromBaseline(*modelDir, *baseline, *method, *epochs, *seed, prec)
+		scorer, served, err = buildScorerFromBaseline(*modelDir, *baseline, *method, *epochs, *seed, prec, *cascade)
 		if err != nil {
 			server.Close()
 			return err
@@ -393,7 +408,7 @@ func writeCheckpointFile(svc *stream.Service, path string) error {
 // serving engine's arithmetic rung (tuning itself always runs in float64).
 // The returned modality is the pipeline's, so the caller can enforce a
 // -modality pin and stamp the serving stats.
-func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed int64, prec model.Precision) (tuning.Scorer, string, error) {
+func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed int64, prec model.Precision, cascade bool) (tuning.Scorer, string, error) {
 	pl, err := core.LoadPipeline(modelDir)
 	if err != nil {
 		return nil, "", err
@@ -427,7 +442,22 @@ func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed
 	sc, err := core.BuildScorer(pl, core.ScorerConfig{
 		Method: method, Epochs: epochs, Seed: seed, Precision: prec,
 	}, baseLines, labels)
-	return sc, served, err
+	if err != nil || !cascade {
+		return sc, served, err
+	}
+	// Cascade warm start: calibrate the rung-0 table and escalation band
+	// against this scorer's own scores of the baseline, then compose.
+	art, err := core.CalibrateCascade(sc, served, baseLines, core.DefaultCascadeConfig())
+	if err != nil {
+		return nil, "", err
+	}
+	casc, err := core.BuildCascade(sc, art)
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Fprintf(os.Stderr, "clmserve: calibrated scoring cascade (clear<=%.3g, escalate>=%.4g)\n",
+		art.Params.ClearThreshold, art.Params.EscalateLow)
+	return casc, served, nil
 }
 
 // daemon is the handler-visible serving state: nil service until the
@@ -439,12 +469,13 @@ type daemon struct {
 	svc       *stream.Service
 	bundleDir string
 	modality  string // the served modality; reloads must match it
+	cascade   bool   // -cascade: reload bundles must carry a cascade section
 
 	reloadMu sync.Mutex // serializes /reload + SIGHUP loads
 }
 
-func newDaemon(bundleDir string) *daemon {
-	return &daemon{bundleDir: bundleDir}
+func newDaemon(bundleDir string, cascade bool) *daemon {
+	return &daemon{bundleDir: bundleDir, cascade: cascade}
 }
 
 // attach publishes the service and locks in the served modality; the daemon
@@ -501,7 +532,15 @@ func (d *daemon) reload(dir string) (string, error) {
 	if err := lb.CheckModality(served); err != nil {
 		return "", err
 	}
-	if err := svc.SwapScorer(lb.Scorer, lb.Manifest.Version); err != nil {
+	next := lb.Scorer
+	if d.cascade {
+		// A cascade daemon stays a cascade across reloads: a bundle without
+		// the cascade section is rejected and the old scorer keeps serving.
+		if next, err = core.BuildCascade(lb.Scorer, lb.Cascade); err != nil {
+			return "", err
+		}
+	}
+	if err := svc.SwapScorer(next, lb.Manifest.Version); err != nil {
 		return "", err
 	}
 	d.mu.Lock()

@@ -27,7 +27,7 @@ type serveFixture struct {
 // ready wraps the fixture service in an attached daemon, the state the
 // handler serves against after startup completes.
 func (f *serveFixture) ready() *daemon {
-	d := newDaemon("")
+	d := newDaemon("", false)
 	d.attach(f.svc, "shell")
 	return d
 }
@@ -244,7 +244,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // balancers don't route to a cold replica; attach flips readiness.
 func TestReadinessSplit(t *testing.T) {
 	f := getFixture(t)
-	d := newDaemon("")
+	d := newDaemon("", false)
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()
 

@@ -22,7 +22,7 @@ func TestReloadModalityMismatch(t *testing.T) {
 	// tests own): the scorer replica shares the fixture's frozen weights.
 	svc := newModalityService(t, f)
 	defer svc.Close()
-	d := newDaemon("")
+	d := newDaemon("", false)
 	// The daemon serves flows; the fixture bundle below is shell.
 	d.attach(svc, "flows")
 	srv := httptest.NewServer(newHandler(d, 32))
@@ -78,7 +78,7 @@ func TestModalitySurfaced(t *testing.T) {
 	svc := newModalityService(t, f)
 	defer svc.Close()
 	svc.SetModality("shell")
-	d := newDaemon("")
+	d := newDaemon("", false)
 	d.attach(svc, "shell")
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()

@@ -46,7 +46,7 @@ func TestPprofMuxIsolation(t *testing.T) {
 		t.Fatalf("debug mux /debug/pprof/ = %d, want 200", resp.StatusCode)
 	}
 
-	serving := httptest.NewServer(newHandler(newDaemon(""), 32))
+	serving := httptest.NewServer(newHandler(newDaemon("", false), 32))
 	defer serving.Close()
 	resp, err = http.Get(serving.URL + "/debug/pprof/")
 	if err != nil {
@@ -84,7 +84,7 @@ func TestReloadSwapsPrecision(t *testing.T) {
 	}
 	svc := stream.NewShardedService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64})
 	defer svc.Close()
-	d := newDaemon("")
+	d := newDaemon("", false)
 	d.attach(svc, "shell")
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()

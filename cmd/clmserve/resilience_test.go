@@ -56,7 +56,7 @@ func TestReloadDamagedBundleUnderLoad(t *testing.T) {
 	f := getFixture(t)
 	svc := fixtureService(t, f, stream.ServiceConfig{QueueRequests: 16, BatchEvents: 64}, nil)
 	defer svc.Close()
-	d := newDaemon("")
+	d := newDaemon("", false)
 	d.attach(svc, "shell")
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()
@@ -245,7 +245,7 @@ func TestReadyzReportsDegraded(t *testing.T) {
 	}
 	svc := fixtureService(t, f, scfg, gate.Wrap)
 	defer svc.Close()
-	d := newDaemon("")
+	d := newDaemon("", false)
 	d.attach(svc, "shell")
 	srv := httptest.NewServer(newHandler(d, 32))
 	defer srv.Close()

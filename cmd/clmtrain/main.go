@@ -62,6 +62,7 @@ func run(args []string) error {
 	bundleEpochs := fs.Int("bundle-epochs", 8, "bundle classifier tuning epochs")
 	bundleVersion := fs.String("bundle-version", "", "bundle version label (default: content-derived)")
 	precision := fs.String("precision", "", "bundle serve-path precision: float64 | float32 | int8 (low rungs add a quantized weight section; the head is trained in float64 either way)")
+	cascade := fs.Bool("cascade", false, "calibrate the scoring cascade (rarity pre-filter -> int8 triage -> f64 confirm) against the training log and emit its rarity section + thresholds with the bundle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +70,14 @@ func run(args []string) error {
 	prec, err := model.ParsePrecision(*precision)
 	if err != nil {
 		return err
+	}
+	if *cascade {
+		if *bundle == "" {
+			return fmt.Errorf("-cascade needs -bundle: the cascade artifact rides the bundle format")
+		}
+		if prec.Low() {
+			return fmt.Errorf("-cascade and a low -precision are mutually exclusive: cascade bundles pin int8 triage under a float64 confirm rung")
+		}
 	}
 	if err := modality.Validate(*mod); err != nil {
 		return err
@@ -151,6 +160,19 @@ func run(args []string) error {
 		return err
 	}
 	bs.Provenance.Corpus = *data
+	if *cascade {
+		// Calibrate the cascade against the freshly tuned f64 scorer's own
+		// score distribution on the training log; the artifact (rarity table
+		// + thresholds) rides the bundle so serving needs no corpus.
+		art, err := core.CalibrateCascade(bs.Scorer, pl.Pre.Modality(), baseLines, core.DefaultCascadeConfig())
+		if err != nil {
+			return err
+		}
+		bs.Cascade = art
+		fmt.Printf("calibrated cascade (clear<=%.3g, clear score %.4g±%.2g, escalate>=%.4g)\n",
+			art.Params.ClearThreshold, art.Params.ClearScore,
+			art.Params.MaxClearDeviation, art.Params.EscalateLow)
+	}
 	man, err := core.SaveBundle(*bundle, pl, bs, *bundleVersion)
 	if err != nil {
 		return err

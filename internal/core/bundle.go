@@ -60,10 +60,14 @@ var ErrModalityMismatch = errors.New("core: bundle modality mismatch")
 // carries the backbone's pre-lowered serving weights — float32 mirrors,
 // or int8 channels + scales — so a cold start installs them instead of
 // re-converting, and the artifact pins the exact serving weights.
+// rarityFile only exists in cascade bundles (manifest Cascade != nil): it
+// carries the rung-0 rarity table, and such bundles also carry quant.gob
+// (int8) so one artifact cold-starts both model rungs over one backbone.
 const (
 	manifestFile = "manifest.json"
 	scorerFile   = "scorer.bin"
 	quantFile    = "quant.gob"
+	rarityFile   = "rarity.bin"
 )
 
 // BundleProvenance records where a bundle's supervision came from, so a
@@ -101,6 +105,12 @@ type BundleManifest struct {
 	// rungs add the quant.gob section holding the lowered backbone
 	// weights, and loading builds the scorer's engine at this precision.
 	Precision string `json:"precision,omitempty"`
+	// Cascade carries the calibrated cascade thresholds when the bundle was
+	// emitted with a rung-0 rarity section (clmtrain -cascade); nil
+	// otherwise. Cascade bundles additionally carry quant.gob (int8) so the
+	// triage rung cold-starts from pinned weights, and their confirm rung is
+	// always the canonical float64 path.
+	Cascade *tuning.CascadeParams `json:"cascade,omitempty"`
 	// CreatedUnix is the save time (informational; not part of Version).
 	CreatedUnix int64            `json:"created_unix"`
 	Provenance  BundleProvenance `json:"provenance"`
@@ -131,6 +141,9 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 	if !prec.Valid() {
 		return nil, fmt.Errorf("core: unknown precision %q", prec)
 	}
+	if bs.Cascade != nil && prec.Low() {
+		return nil, fmt.Errorf("core: cascade bundles pin the confirm rung at float64; emit with the default precision")
+	}
 	sections := []struct {
 		name string
 		save func(*bytes.Buffer) error
@@ -140,7 +153,13 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 		{modelFile, func(b *bytes.Buffer) error { return bs.Backbone.Save(b) }},
 		{scorerFile, func(b *bytes.Buffer) error { return tuning.SaveScorerHead(b, bs.Scorer) }},
 	}
-	if prec.Low() {
+	quantPrec := prec
+	if bs.Cascade != nil {
+		// A cascade bundle serves its confirm rung at float64 but must
+		// cold-start the int8 triage rung from pinned weights too.
+		quantPrec = model.PrecisionInt8
+	}
+	if quantPrec.Low() {
 		// The quantized section is derived deterministically from the
 		// float64 backbone (Lowered caches the conversion), so re-saving
 		// reproduces identical bytes and the content-derived version is
@@ -150,12 +169,18 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 			name string
 			save func(*bytes.Buffer) error
 		}{quantFile, func(b *bytes.Buffer) error {
-			lw, err := bs.Backbone.Encoder.Lowered(prec)
+			lw, err := bs.Backbone.Encoder.Lowered(quantPrec)
 			if err != nil {
 				return err
 			}
 			return model.SaveLowWeights(b, lw)
 		}})
+	}
+	if bs.Cascade != nil {
+		sections = append(sections, struct {
+			name string
+			save func(*bytes.Buffer) error
+		}{rarityFile, func(b *bytes.Buffer) error { return bs.Cascade.Rarity.Save(b) }})
 	}
 	m := &BundleManifest{
 		Format:      BundleFormat,
@@ -169,6 +194,10 @@ func SaveBundle(dir string, pl *Pipeline, bs *BuiltScorer, version string) (*Bun
 	}
 	if prec.Low() {
 		m.Precision = string(prec)
+	}
+	if bs.Cascade != nil {
+		params := bs.Cascade.Params
+		m.Cascade = &params
 	}
 	for _, s := range sections {
 		var buf bytes.Buffer
@@ -216,8 +245,11 @@ func deriveVersion(checksums map[string]string) string {
 // corrupt or truncate to exercise the load-time verification.
 func SectionFiles(m *BundleManifest) []string {
 	names := []string{preprocessFile, tokenizerFile, modelFile, scorerFile}
-	if model.Precision(m.Precision).Low() {
+	if model.Precision(m.Precision).Low() || m.Cascade != nil {
 		names = append(names, quantFile)
+	}
+	if m.Cascade != nil {
+		names = append(names, rarityFile)
 	}
 	return names
 }
@@ -234,6 +266,10 @@ type LoadedBundle struct {
 	Tok      *bpe.Tokenizer
 	Model    *model.Model
 	Scorer   tuning.Scorer
+	// Cascade is the restored cascade artifact of a cascade bundle, nil
+	// otherwise. Scorer stays the plain confirm-rung scorer either way;
+	// callers that opted in (-cascade) compose the two with BuildCascade.
+	Cascade *CascadeArtifact
 }
 
 // Modality returns the canonical modality the bundle was trained on
@@ -281,14 +317,19 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: bundle manifest: %w", err)
 	}
+	if m.Cascade != nil {
+		if prec.Low() {
+			return nil, fmt.Errorf("%w: cascade bundle declares low confirm precision %q", ErrBundleCorrupt, m.Precision)
+		}
+		if err := m.Cascade.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBundleCorrupt, err)
+		}
+	}
 
 	// Read and verify every section before deserializing any of them: a
 	// truncated or tampered file fails with a checksum error naming the
 	// section, not a decoder panic deep inside gob.
-	names := []string{preprocessFile, tokenizerFile, modelFile, scorerFile}
-	if prec.Low() {
-		names = append(names, quantFile)
-	}
+	names := SectionFiles(&m)
 	raw := make(map[string][]byte, len(names))
 	for _, name := range names {
 		want, ok := m.Checksums[name]
@@ -323,14 +364,14 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 	if lb.Model, err = model.Load(bytes.NewReader(raw[modelFile])); err != nil {
 		return nil, fmt.Errorf("core: bundle %s: %w", modelFile, err)
 	}
-	if prec.Low() {
+	if wantQuant := quantPrecOf(&m); wantQuant.Low() {
 		lw, err := model.LoadLowWeights(bytes.NewReader(raw[quantFile]))
 		if err != nil {
 			return nil, fmt.Errorf("core: bundle %s: %w", quantFile, err)
 		}
-		if lw.Precision() != prec {
+		if lw.Precision() != wantQuant {
 			return nil, fmt.Errorf("core: bundle %s is %s but manifest says %s",
-				quantFile, lw.Precision(), prec)
+				quantFile, lw.Precision(), wantQuant)
 		}
 		// Install the pinned serving weights; the engine built below finds
 		// them in the encoder's cache instead of re-lowering.
@@ -346,5 +387,31 @@ func LoadScorerBundle(dir string) (*LoadedBundle, error) {
 		return nil, fmt.Errorf("core: bundle head is %s but manifest says %s", method, m.Method)
 	}
 	lb.Scorer = scorer
+	if m.Cascade != nil {
+		rt, err := tuning.LoadRarity(bytes.NewReader(raw[rarityFile]))
+		if err != nil {
+			return nil, fmt.Errorf("core: bundle %s: %w", rarityFile, err)
+		}
+		if rt.Modality() != lb.Modality() {
+			// Like the filter-state cross-check: the section is
+			// sha256-verified, so a disagreement means a hand-edited manifest.
+			return nil, fmt.Errorf("%w: manifest says modality %q but rarity table is %q",
+				ErrBundleCorrupt, lb.Modality(), rt.Modality())
+		}
+		lb.Cascade = &CascadeArtifact{Params: *m.Cascade, Rarity: rt}
+	}
 	return lb, nil
+}
+
+// quantPrecOf is the precision the bundle's quant.gob section carries:
+// the manifest precision for low-precision bundles, int8 for cascade
+// bundles (whose manifest precision is the float64 confirm rung).
+func quantPrecOf(m *BundleManifest) model.Precision {
+	if p := model.Precision(m.Precision); p.Low() {
+		return p
+	}
+	if m.Cascade != nil {
+		return model.PrecisionInt8
+	}
+	return model.PrecisionFloat64
 }

@@ -68,6 +68,10 @@ type BuiltScorer struct {
 	Config ScorerConfig
 	// Provenance records where the head's supervision came from.
 	Provenance BundleProvenance
+	// Cascade, when set (CalibrateCascade), makes SaveBundle emit a cascade
+	// bundle: the rarity.bin section, the int8 quant.gob for the triage
+	// rung, and the calibrated thresholds in the manifest.
+	Cascade *CascadeArtifact
 }
 
 // BuildScorer constructs the requested §III/§IV method over the pipeline's

@@ -32,6 +32,7 @@ type RareCommandError struct {
 	Count int
 }
 
+// Error describes which command was too rare and how often it occurred.
 func (e *RareCommandError) Error() string {
 	return fmt.Sprintf("preprocess: rare command %q (%d occurrences)", e.Name, e.Count)
 }

@@ -84,12 +84,22 @@ func (*SimpleCommand) commandNode() {}
 func (*Subshell) commandNode()      {}
 
 // Position implements Node.
-func (l *Line) Position() int          { return l.Pos }
-func (a *AndOr) Position() int         { return a.Pos }
-func (p *Pipeline) Position() int      { return p.Pos }
+func (l *Line) Position() int { return l.Pos }
+
+// Position implements Node.
+func (a *AndOr) Position() int { return a.Pos }
+
+// Position implements Node.
+func (p *Pipeline) Position() int { return p.Pos }
+
+// Position implements Node.
 func (c *SimpleCommand) Position() int { return c.Pos }
-func (s *Subshell) Position() int      { return s.Pos }
-func (r *Redirect) Position() int      { return r.Pos }
+
+// Position implements Node.
+func (s *Subshell) Position() int { return s.Pos }
+
+// Position implements Node.
+func (r *Redirect) Position() int { return r.Pos }
 
 // String reconstructs the line in canonical spacing.
 func (l *Line) String() string {

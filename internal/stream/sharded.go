@@ -251,6 +251,14 @@ func (d *ShardedDetector) Stats() Stats {
 		total.ScorerPanics += s.ScorerPanics
 		total.QuarantinedInputs += s.QuarantinedInputs
 		total.QuarantineHits += s.QuarantineHits
+		if s.Cascade != nil {
+			if total.Cascade == nil {
+				total.Cascade = &tuning.CascadeStats{}
+			}
+			total.Cascade.Cleared += s.Cascade.Cleared
+			total.Cascade.Triaged += s.Cascade.Triaged
+			total.Cascade.Escalated += s.Cascade.Escalated
+		}
 		for _, sample := range s.QuarantineSample {
 			if len(total.QuarantineSample) < quarSampleCap {
 				total.QuarantineSample = append(total.QuarantineSample, sample)

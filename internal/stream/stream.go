@@ -222,6 +222,11 @@ type Stats struct {
 	// QuarantineSample holds the most recently quarantined inputs (bounded
 	// to a handful), so /stats shows what the poison looks like.
 	QuarantineSample []string `json:"quarantine_sample,omitempty"`
+	// Cascade is the per-rung traffic split when the active scorer is a
+	// scoring cascade (tuning.CascadeStatser): how many scoring inputs the
+	// rarity pre-filter cleared, the int8 triage rung scored, and the f64
+	// confirm rung re-scored. Nil for non-cascade scorers.
+	Cascade *tuning.CascadeStats `json:"cascade,omitempty"`
 	// ScorerVersion identifies the active scorer artifact (the bundle
 	// version for bundle-loaded scorers); empty when never set. Set at
 	// construction time via SwapScorer or ShardedDetector.SetScorerVersion.
@@ -804,6 +809,10 @@ func (d *Detector) Stats() Stats {
 	s.ScorerVersion = d.version
 	s.Modality = d.modality
 	s.QuarantineSample = append([]string(nil), d.quarSamples...)
+	if cs, ok := d.scorer.(tuning.CascadeStatser); ok {
+		snap := cs.CascadeStats()
+		s.Cascade = &snap
+	}
 	return s
 }
 

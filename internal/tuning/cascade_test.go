@@ -1,0 +1,161 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+)
+
+// stubRungScorer is a deterministic table-driven scorer for cascade routing
+// tests; it records the batches it was asked to score.
+type stubRungScorer struct {
+	scores map[string]float64
+	calls  [][]string
+}
+
+func (s *stubRungScorer) Score(lines []string) ([]float64, error) {
+	s.calls = append(s.calls, append([]string(nil), lines...))
+	out := make([]float64, len(lines))
+	for i, l := range lines {
+		out[i] = s.scores[l]
+	}
+	return out, nil
+}
+
+func (s *stubRungScorer) Replicate() Scorer {
+	return &stubRungScorer{scores: s.scores}
+}
+
+// notReplicable is a Scorer without Replicate, for constructor validation.
+type notReplicable struct{}
+
+func (notReplicable) Score(lines []string) ([]float64, error) {
+	return make([]float64, len(lines)), nil
+}
+
+func TestCascadeRoutesRungs(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	cleared := "ls -la /tmp"         // dominant in the fixture: low rarity
+	triaged := "tar -xzf backup.tgz" // seen once: above the clear threshold
+	escalated := "nmap -sS 10.0.0.1" // unseen command: maximal rarity
+	params := CascadeParams{
+		ClearThreshold: rt.Rarity(cleared), // exactly the common line clears
+		ClearScore:     0.11,
+		EscalateLow:    0.5,
+	}
+	if r := rt.Rarity(triaged); r <= params.ClearThreshold {
+		t.Fatalf("fixture broken: triaged line rarity %v under clear threshold %v", r, params.ClearThreshold)
+	}
+	triage := &stubRungScorer{scores: map[string]float64{triaged: 0.3, escalated: 0.8}}
+	confirm := &stubRungScorer{scores: map[string]float64{escalated: 0.93}}
+	casc, err := NewCascadeScorer(rt, triage, confirm, params)
+	if err != nil {
+		t.Fatalf("NewCascadeScorer: %v", err)
+	}
+
+	got, err := casc.Score([]string{escalated, cleared, triaged})
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	want := []float64{0.93, 0.11, 0.3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score[%d] = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if len(triage.calls) != 1 || len(triage.calls[0]) != 2 {
+		t.Fatalf("triage rung saw %v, want one batch of the two uncleared lines", triage.calls)
+	}
+	if len(confirm.calls) != 1 || len(confirm.calls[0]) != 1 || confirm.calls[0][0] != escalated {
+		t.Fatalf("confirm rung saw %v, want only the escalated line", confirm.calls)
+	}
+	st := casc.CascadeStats()
+	if st.Cleared != 1 || st.Triaged != 2 || st.Escalated != 1 {
+		t.Fatalf("CascadeStats = %+v, want 1/2/1", st)
+	}
+}
+
+func TestCascadeAllClearedSkipsModelRungs(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	triage := &stubRungScorer{scores: map[string]float64{}}
+	confirm := &stubRungScorer{scores: map[string]float64{}}
+	casc, err := NewCascadeScorer(rt, triage, confirm, CascadeParams{
+		ClearThreshold: rt.MaxRarity(), ClearScore: 0.2, EscalateLow: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewCascadeScorer: %v", err)
+	}
+	got, err := casc.Score([]string{"ls -la /tmp", "cat /etc/hosts"})
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	for i, s := range got {
+		if s != 0.2 {
+			t.Fatalf("score[%d] = %v, want the clear score", i, s)
+		}
+	}
+	if len(triage.calls) != 0 || len(confirm.calls) != 0 {
+		t.Fatal("model rungs were called for fully cleared input")
+	}
+	// An unparsable line has infinite rarity and must bypass even a maximal
+	// clear threshold.
+	if _, err := casc.Score([]string{`bad "quote`}); err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	if len(triage.calls) != 1 {
+		t.Fatal("unparsable line did not reach the triage rung")
+	}
+}
+
+func TestCascadeReplicateIsolatesCounters(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	triage := &stubRungScorer{scores: map[string]float64{}}
+	confirm := &stubRungScorer{scores: map[string]float64{}}
+	casc, err := NewCascadeScorer(rt, triage, confirm, CascadeParams{
+		ClearThreshold: rt.MaxRarity(), ClearScore: 0.2, EscalateLow: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewCascadeScorer: %v", err)
+	}
+	if _, err := casc.Score([]string{"ls -la /tmp"}); err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	rep, ok := casc.Replicate().(*CascadeScorer)
+	if !ok {
+		t.Fatal("Replicate did not return a CascadeScorer")
+	}
+	if st := rep.CascadeStats(); st != (CascadeStats{}) {
+		t.Fatalf("replica counters %+v, want zero", st)
+	}
+	got, err := rep.Score([]string{"ls -la /tmp"})
+	if err != nil || got[0] != 0.2 {
+		t.Fatalf("replica score = %v, %v; want 0.2", got, err)
+	}
+	if st := casc.CascadeStats(); st.Cleared != 1 {
+		t.Fatalf("original counters %+v changed by replica scoring", st)
+	}
+}
+
+func TestNewCascadeScorerValidation(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	ok := &stubRungScorer{scores: map[string]float64{}}
+	params := CascadeParams{ClearThreshold: 1, ClearScore: 0, EscalateLow: 1}
+	if _, err := NewCascadeScorer(nil, ok, ok, params); err == nil {
+		t.Fatal("nil rarity table accepted")
+	}
+	if _, err := NewCascadeScorer(rt, notReplicable{}, ok, params); err == nil {
+		t.Fatal("non-replicable triage scorer accepted")
+	}
+	if _, err := NewCascadeScorer(rt, ok, notReplicable{}, params); err == nil {
+		t.Fatal("non-replicable confirm scorer accepted")
+	}
+	bad := params
+	bad.EscalateLow = math.NaN()
+	if _, err := NewCascadeScorer(rt, ok, ok, bad); err == nil {
+		t.Fatal("NaN escalation floor accepted")
+	}
+	bad = params
+	bad.ClearThreshold = math.Inf(1)
+	if _, err := NewCascadeScorer(rt, ok, ok, bad); err == nil {
+		t.Fatal("+Inf clear threshold accepted")
+	}
+}

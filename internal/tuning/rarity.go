@@ -1,0 +1,450 @@
+package tuning
+
+// Rung 0 of the scoring cascade: a near-free statistical pre-filter. A
+// RarityTable holds per-command and per-token occurrence counts fitted from
+// the same corpus the preprocessing layer counts command frequencies over
+// (internal/preprocess Fig. 2 filter), and scores a line by the surprisal of
+// its rarest unit — zero model calls, microseconds per line. Lines whose
+// every command and token is common score low and can be cleared without
+// touching the transformer; anything containing a rare, unseen, or
+// unparsable unit scores high and falls through to the model rungs.
+//
+// The table is deliberately conservative in every failure direction: an
+// unseen unit — command or token — carries the table's global MaxRarity,
+// strictly above every seen unit in either distribution, so a clear
+// threshold below MaxRarity can never clear a line containing anything the
+// fit did not observe. A line the modality cannot parse (or that parses to
+// nothing), and any line on the calibration denylist, has infinite rarity —
+// such lines can never be cleared, only escalated.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clmids/internal/modality"
+)
+
+// rarityFormat is the serialization header of a saved rarity table.
+const rarityFormat = "clmids-rarity v1"
+
+// ErrRarityCorrupt flags a saved rarity table whose checksum or framing
+// does not verify; loads fail before any counts are trusted.
+var ErrRarityCorrupt = errors.New("tuning: rarity table corrupt")
+
+// unitCounts is one smoothed categorical distribution over units (command
+// names or whitespace tokens).
+type unitCounts struct {
+	n     map[string]int64
+	total int64
+}
+
+func (c *unitCounts) add(unit string) {
+	c.n[unit]++
+	c.total++
+}
+
+// surprisal is the add-one-smoothed self-information of a SEEN unit in
+// bits: -log2((count+1) / (total+distinct+1)). Callers route unseen units
+// to the table-wide MaxRarity instead.
+func (c *unitCounts) surprisal(unit string) float64 {
+	return c.max() - math.Log2(float64(c.n[unit])+1)
+}
+
+// max is the surprisal assigned to an unseen unit.
+func (c *unitCounts) max() float64 {
+	return math.Log2(float64(c.total) + float64(len(c.n)) + 1)
+}
+
+// RarityTable scores lines by the surprisal of their rarest command unit or
+// whitespace token, both estimated from a fitting corpus. It is the rung-0
+// pre-filter of the scoring cascade: Rarity costs one modality Parse plus
+// map lookups, so a calibrated clear-threshold lets the cascade skip the
+// transformer entirely for the bulk of routine traffic.
+//
+// A fitted table is immutable and safe for concurrent use; cascade replicas
+// share one table.
+type RarityTable struct {
+	modalityName string
+	mod          modality.Modality
+	cmd          unitCounts
+	tok          unitCounts
+	// deny is the calibration denylist: exact raw lines that must never
+	// clear regardless of their unit rarity (observed during calibration to
+	// score inside the escalation band despite being made of common units —
+	// label-noise artifacts and living-off-the-land patterns).
+	deny map[string]struct{}
+}
+
+// FitRarity fits a rarity table over the corpus lines using the named
+// modality's Parse ("" = shell). Command occurrences are counted exactly as
+// the preprocessing layer's frequency filter counts them (every occurrence
+// including repeats, via Record.Occurrences), and tokens are the whitespace
+// fields of the canonical line, shape-canonicalized (see canonTok) so
+// embedded counters, PIDs, and ids don't explode the table. Unparsable lines are skipped — they carry
+// infinite rarity at scoring time regardless of counts. It is an error if
+// the corpus is empty or no line parses.
+func FitRarity(modalityName string, lines []string) (*RarityTable, error) {
+	mod, err := modality.Get(modalityName)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("tuning: cannot fit rarity table on an empty corpus")
+	}
+	t := newRarityTable(mod)
+	parsed := 0
+	for _, line := range lines {
+		rec, err := mod.Parse(line)
+		if err != nil {
+			continue
+		}
+		parsed++
+		for _, u := range rec.Occurrences {
+			t.cmd.add(u)
+		}
+		for _, w := range strings.Fields(rec.Line) {
+			tokUnits(w, t.tok.add)
+		}
+	}
+	if parsed == 0 {
+		return nil, fmt.Errorf("tuning: no parsable lines among %d in rarity fitting corpus", len(lines))
+	}
+	return t, nil
+}
+
+func newRarityTable(mod modality.Modality) *RarityTable {
+	return &RarityTable{
+		modalityName: mod.Name(),
+		mod:          mod,
+		cmd:          unitCounts{n: make(map[string]int64)},
+		tok:          unitCounts{n: make(map[string]int64)},
+		deny:         make(map[string]struct{}),
+	}
+}
+
+// Modality returns the name of the modality the table was fitted for.
+func (t *RarityTable) Modality() string { return t.modalityName }
+
+// MaxRarity is the largest finite rarity the table can assign: the value
+// given to any line containing a unit — command or token — never seen
+// during fitting. Calibration places the clear threshold strictly below it,
+// so unseen units always fall through to the model rungs.
+func (t *RarityTable) MaxRarity() float64 {
+	return math.Max(t.cmd.max(), t.tok.max())
+}
+
+// SetDenylist installs the calibration denylist: exact raw lines that score
+// +Inf rarity from then on. It must be called before the table is shared
+// across goroutines (calibration time, not serve time) — a fitted table is
+// otherwise immutable.
+func (t *RarityTable) SetDenylist(lines []string) {
+	t.deny = make(map[string]struct{}, len(lines))
+	for _, l := range lines {
+		t.deny[l] = struct{}{}
+	}
+}
+
+// Denylist returns the denylisted lines in sorted order.
+func (t *RarityTable) Denylist() []string {
+	out := make([]string, 0, len(t.deny))
+	for l := range t.deny {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rarity scores one raw line: the maximum surprisal over its command
+// occurrences and the canonicalized token units of its whitespace fields
+// (see tokUnits), where any
+// unseen unit contributes the global MaxRarity. Denylisted lines, lines the
+// modality rejects, and lines that parse to no units at all return +Inf —
+// the pre-filter can only ever clear lines it can positively attest are
+// made of common parts.
+func (t *RarityTable) Rarity(line string) float64 {
+	if _, denied := t.deny[line]; denied {
+		return math.Inf(1)
+	}
+	rec, err := t.mod.Parse(line)
+	if err != nil {
+		return math.Inf(1)
+	}
+	r, units := math.Inf(-1), 0
+	for _, u := range rec.Occurrences {
+		units++
+		if s := t.unitRarity(&t.cmd, u); s > r {
+			r = s
+		}
+	}
+	for _, w := range strings.Fields(rec.Line) {
+		tokUnits(w, func(u string) {
+			units++
+			if s := t.unitRarity(&t.tok, u); s > r {
+				r = s
+			}
+		})
+	}
+	if units == 0 {
+		return math.Inf(1)
+	}
+	return r
+}
+
+// unitRarity is one unit's contribution: its distribution surprisal if it
+// was seen during fitting, the global MaxRarity if not.
+func (t *RarityTable) unitRarity(c *unitCounts, unit string) float64 {
+	if c.n[unit] == 0 {
+		return t.MaxRarity()
+	}
+	return c.surprisal(unit)
+}
+
+// tokUnits calls fn for each countable unit of one whitespace field: the
+// field splits on '/' into segments (a path is a bag of its components, a
+// URL of its host and leaves — full paths are a combinatorial product no
+// finite fit could cover), and each non-empty segment is shape-canonicalized
+// by canonTok.
+func tokUnits(field string, fn func(string)) {
+	for len(field) > 0 {
+		seg := field
+		if k := strings.IndexByte(field, '/'); k >= 0 {
+			seg, field = field[:k], field[k+1:]
+		} else {
+			field = ""
+		}
+		if seg != "" {
+			fn(canonTok(seg))
+		}
+	}
+}
+
+// canonTok collapses high-cardinality lexical material so the token table
+// counts shapes rather than literals: a maximal hexadecimal run of six or
+// more characters containing a decimal digit (checksums, random ids)
+// becomes "#", and a pure decimal run becomes "0", so "tail -n 120
+// app.2041.5e8f3a9b.bak" shares a template with every sibling differing
+// only in the numbers. Without this, any stream whose routine lines embed
+// counters, PIDs, or addresses carries a never-seen token in roughly every
+// other line and rung 0 can clear almost nothing. Command units are counted
+// literally — command-name cardinality is low and exactness matters there.
+func canonTok(tok string) string {
+	if !strings.ContainsAny(tok, "0123456789") {
+		return tok
+	}
+	var b strings.Builder
+	b.Grow(len(tok))
+	for i := 0; i < len(tok); {
+		if !isHexByte(tok[i]) {
+			b.WriteByte(tok[i])
+			i++
+			continue
+		}
+		j, digits := i, 0
+		for j < len(tok) && isHexByte(tok[j]) {
+			if tok[j] <= '9' {
+				digits++
+			}
+			j++
+		}
+		switch {
+		case digits > 0 && j-i >= 6:
+			b.WriteByte('#')
+		case digits == j-i:
+			b.WriteByte('0')
+		default:
+			// Short mixed run ("eth0", "python3"): keep the letters, squash
+			// each decimal sub-run.
+			for k := i; k < j; k++ {
+				if tok[k] <= '9' {
+					if k == i || tok[k-1] > '9' {
+						b.WriteByte('0')
+					}
+				} else {
+					b.WriteByte(tok[k])
+				}
+			}
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// isHexByte reports whether c can appear in a lowercase hexadecimal id.
+func isHexByte(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+}
+
+// Save writes the table deterministically: a format header carrying a
+// sha256 checksum of the payload, then the modality name and both count
+// tables with units sorted and quoted. Two tables fitted from the same
+// corpus serialize byte-identically, so the bundle layer's per-section
+// checksums are stable across rebuilds.
+func (t *RarityTable) Save(w io.Writer) error {
+	var payload strings.Builder
+	fmt.Fprintf(&payload, "modality %s\n", strconv.Quote(t.modalityName))
+	writeCounts(&payload, "cmd", &t.cmd)
+	writeCounts(&payload, "tok", &t.tok)
+	denied := t.Denylist()
+	fmt.Fprintf(&payload, "deny %d\n", len(denied))
+	for _, l := range denied {
+		fmt.Fprintf(&payload, "%s\n", strconv.Quote(l))
+	}
+	sum := sha256.Sum256([]byte(payload.String()))
+	if _, err := fmt.Fprintf(w, "%s %s\n%s", rarityFormat, hex.EncodeToString(sum[:]), payload.String()); err != nil {
+		return fmt.Errorf("tuning: writing rarity table: %w", err)
+	}
+	return nil
+}
+
+func writeCounts(b *strings.Builder, kind string, c *unitCounts) {
+	units := make([]string, 0, len(c.n))
+	for u := range c.n {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	fmt.Fprintf(b, "%s %d\n", kind, len(units))
+	for _, u := range units {
+		fmt.Fprintf(b, "%d %s\n", c.n[u], strconv.Quote(u))
+	}
+}
+
+// LoadRarity reads a table written by Save, verifying the embedded checksum
+// over the full payload before any counts are trusted; any mismatch or
+// framing damage fails with an error wrapping ErrRarityCorrupt. The table's
+// modality must be registered in this process.
+func LoadRarity(r io.Reader) (*RarityTable, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tuning: reading rarity table: %w", err)
+	}
+	nl := strings.IndexByte(string(raw), '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header line", ErrRarityCorrupt)
+	}
+	header, payload := string(raw[:nl]), raw[nl+1:]
+	want, ok := strings.CutPrefix(header, rarityFormat+" ")
+	if !ok {
+		return nil, fmt.Errorf("%w: bad format header %q", ErrRarityCorrupt, header)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != want {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrRarityCorrupt)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(payload)))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	modLine, err := scanLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	quoted, ok := strings.CutPrefix(modLine, "modality ")
+	if !ok {
+		return nil, fmt.Errorf("%w: want modality line, got %q", ErrRarityCorrupt, modLine)
+	}
+	name, err := strconv.Unquote(quoted)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad modality name %q", ErrRarityCorrupt, quoted)
+	}
+	mod, err := modality.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	t := newRarityTable(mod)
+	t.modalityName = name
+	if err := readCounts(sc, "cmd", &t.cmd); err != nil {
+		return nil, err
+	}
+	if err := readCounts(sc, "tok", &t.tok); err != nil {
+		return nil, err
+	}
+	if err := readDeny(sc, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func readDeny(sc *bufio.Scanner, t *RarityTable) error {
+	head, err := scanLine(sc)
+	if err != nil {
+		return err
+	}
+	rest, ok := strings.CutPrefix(head, "deny ")
+	if !ok {
+		return fmt.Errorf("%w: want deny section header, got %q", ErrRarityCorrupt, head)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return fmt.Errorf("%w: bad deny section size %q", ErrRarityCorrupt, rest)
+	}
+	for i := 0; i < n; i++ {
+		quoted, err := scanLine(sc)
+		if err != nil {
+			return err
+		}
+		line, err := strconv.Unquote(quoted)
+		if err != nil {
+			return fmt.Errorf("%w: bad denylist entry %q", ErrRarityCorrupt, quoted)
+		}
+		if _, dup := t.deny[line]; dup {
+			return fmt.Errorf("%w: duplicate denylist entry %q", ErrRarityCorrupt, line)
+		}
+		t.deny[line] = struct{}{}
+	}
+	return nil
+}
+
+func scanLine(sc *bufio.Scanner) (string, error) {
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", fmt.Errorf("tuning: reading rarity table: %w", err)
+		}
+		return "", fmt.Errorf("%w: truncated payload", ErrRarityCorrupt)
+	}
+	return sc.Text(), nil
+}
+
+func readCounts(sc *bufio.Scanner, kind string, c *unitCounts) error {
+	head, err := scanLine(sc)
+	if err != nil {
+		return err
+	}
+	rest, ok := strings.CutPrefix(head, kind+" ")
+	if !ok {
+		return fmt.Errorf("%w: want %q table header, got %q", ErrRarityCorrupt, kind, head)
+	}
+	distinct, err := strconv.Atoi(rest)
+	if err != nil || distinct < 0 {
+		return fmt.Errorf("%w: bad %s table size %q", ErrRarityCorrupt, kind, rest)
+	}
+	for i := 0; i < distinct; i++ {
+		line, err := scanLine(sc)
+		if err != nil {
+			return err
+		}
+		count, quoted, ok := strings.Cut(line, " ")
+		if !ok {
+			return fmt.Errorf("%w: bad %s entry %q", ErrRarityCorrupt, kind, line)
+		}
+		n, err := strconv.ParseInt(count, 10, 64)
+		if err != nil || n < 1 {
+			return fmt.Errorf("%w: bad %s count %q", ErrRarityCorrupt, kind, count)
+		}
+		unit, err := strconv.Unquote(quoted)
+		if err != nil {
+			return fmt.Errorf("%w: bad %s unit %q", ErrRarityCorrupt, kind, quoted)
+		}
+		if _, dup := c.n[unit]; dup {
+			return fmt.Errorf("%w: duplicate %s unit %q", ErrRarityCorrupt, kind, unit)
+		}
+		c.n[unit] = n
+		c.total += n
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package tuning
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// rarityFixtureLines is a small shell corpus with a sharply skewed command
+// distribution: ls/cat dominate, tar appears once.
+func rarityFixtureLines() []string {
+	lines := []string{"tar -xzf backup.tgz"}
+	for i := 0; i < 40; i++ {
+		lines = append(lines, "ls -la /tmp", "cat /etc/hosts")
+	}
+	return lines
+}
+
+func fitTestRarity(t *testing.T, lines []string) *RarityTable {
+	t.Helper()
+	rt, err := FitRarity("shell", lines)
+	if err != nil {
+		t.Fatalf("FitRarity: %v", err)
+	}
+	return rt
+}
+
+func TestRarityOrdersCommonBeforeRare(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	common := rt.Rarity("ls -la /tmp")
+	rare := rt.Rarity("tar -xzf backup.tgz")
+	if !(common < rare) {
+		t.Fatalf("common line rarity %v not below rare line rarity %v", common, rare)
+	}
+	if math.IsInf(common, 0) || math.IsInf(rare, 0) {
+		t.Fatalf("fitted lines must have finite rarity; got %v and %v", common, rare)
+	}
+}
+
+func TestRarityUnseenCommandAboveEveryFittedLine(t *testing.T) {
+	lines := rarityFixtureLines()
+	rt := fitTestRarity(t, lines)
+	worstFitted := math.Inf(-1)
+	for _, line := range lines {
+		if r := rt.Rarity(line); r > worstFitted {
+			worstFitted = r
+		}
+	}
+	unseen := rt.Rarity("nmap -sS 10.0.0.1")
+	if !(unseen > worstFitted) {
+		t.Fatalf("unseen-command line rarity %v not above every fitted line (worst %v)", unseen, worstFitted)
+	}
+	if unseen > rt.MaxRarity() {
+		t.Fatalf("rarity %v exceeds MaxRarity %v", unseen, rt.MaxRarity())
+	}
+}
+
+func TestRarityUnparsableAndEmptyAreInfinite(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	for _, line := range []string{`echo "unclosed`, "", "   "} {
+		if r := rt.Rarity(line); !math.IsInf(r, 1) {
+			t.Fatalf("Rarity(%q) = %v, want +Inf", line, r)
+		}
+	}
+}
+
+func TestRaritySingleCommandCorpus(t *testing.T) {
+	rt := fitTestRarity(t, []string{"ls"})
+	seen := rt.Rarity("ls")
+	if math.IsInf(seen, 0) || math.IsNaN(seen) {
+		t.Fatalf("single-command corpus: Rarity(ls) = %v, want finite", seen)
+	}
+	if other := rt.Rarity("pwd"); !(other > seen) {
+		t.Fatalf("unseen command rarity %v not above the only seen command's %v", other, seen)
+	}
+}
+
+func TestFitRarityRejectsEmptyAndUnparsableCorpora(t *testing.T) {
+	if _, err := FitRarity("shell", nil); err == nil {
+		t.Fatal("FitRarity on empty corpus: want error")
+	}
+	if _, err := FitRarity("shell", []string{`echo "unclosed`}); err == nil {
+		t.Fatal("FitRarity on all-unparsable corpus: want error")
+	}
+	if _, err := FitRarity("no-such-modality", []string{"ls"}); err == nil {
+		t.Fatal("FitRarity on unknown modality: want error")
+	}
+}
+
+func TestRarityDenylistOverridesCommonUnits(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	before := rt.Rarity("ls -la /tmp")
+	if math.IsInf(before, 0) {
+		t.Fatalf("fixture line should start finite, got %v", before)
+	}
+	rt.SetDenylist([]string{"ls -la /tmp"})
+	if r := rt.Rarity("ls -la /tmp"); !math.IsInf(r, 1) {
+		t.Fatalf("denylisted line rarity %v, want +Inf", r)
+	}
+	// The denylist is exact-line: the sibling common line is untouched.
+	if r := rt.Rarity("cat /etc/hosts"); math.IsInf(r, 0) {
+		t.Fatalf("non-denied line rarity became %v", r)
+	}
+	if got := rt.Denylist(); len(got) != 1 || got[0] != "ls -la /tmp" {
+		t.Fatalf("Denylist() = %q", got)
+	}
+}
+
+func TestRaritySaveLoadRoundTrip(t *testing.T) {
+	lines := rarityFixtureLines()
+	rt := fitTestRarity(t, lines)
+	rt.SetDenylist([]string{"ls -la /tmp", `cat "with quotes"`})
+	var buf bytes.Buffer
+	if err := rt.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var again bytes.Buffer
+	if err := rt.Save(&again); err != nil {
+		t.Fatalf("second Save: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("Save is not deterministic")
+	}
+	loaded, err := LoadRarity(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadRarity: %v", err)
+	}
+	if loaded.Modality() != rt.Modality() {
+		t.Fatalf("round-trip modality %q != %q", loaded.Modality(), rt.Modality())
+	}
+	if got, want := loaded.Denylist(), rt.Denylist(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("round-trip denylist %q != %q", got, want)
+	}
+	probes := append(append([]string{}, lines...), "nmap -sS host", `bad "quote`, "ls -la /tmp | cat")
+	for _, p := range probes {
+		a, b := rt.Rarity(p), loaded.Rarity(p)
+		if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			t.Fatalf("Rarity(%q) changed across round-trip: %v -> %v", p, a, b)
+		}
+	}
+}
+
+func TestLoadRarityRejectsTampering(t *testing.T) {
+	rt := fitTestRarity(t, rarityFixtureLines())
+	var buf bytes.Buffer
+	if err := rt.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	good := buf.String()
+
+	flipped := []byte(good)
+	flipped[len(flipped)/2] ^= 0x01 // payload bit flip
+	cases := map[string]string{
+		"bit flip":   string(flipped),
+		"truncated":  good[:len(good)-5],
+		"bad header": "clmids-rarity v9 " + good,
+		"no header":  "not a rarity table",
+	}
+	for name, data := range cases {
+		if _, err := LoadRarity(strings.NewReader(data)); !errors.Is(err, ErrRarityCorrupt) {
+			t.Fatalf("%s: got %v, want ErrRarityCorrupt", name, err)
+		}
+	}
+}

@@ -32,6 +32,14 @@ func (r *RetrievalScorer) Replicate() Scorer {
 // CacheStats snapshots the serving engine's embedding-cache counters.
 func (r *RetrievalScorer) CacheStats() CacheStats { return r.engine.CacheStats() }
 
+// NewRetrievalScorer wraps an already-fitted retrieval index behind the
+// given serving engine — the composition TrainRetrieval builds, exposed for
+// callers that need a non-default engine configuration (a cache-off engine
+// for cold benchmarks, a custom batch geometry).
+func NewRetrievalScorer(engine *Engine, ret *anomaly.Retrieval) *RetrievalScorer {
+	return &RetrievalScorer{engine: engine, ret: ret}
+}
+
 // TrainRetrieval indexes the labeled training lines. k=1 reproduces the
 // paper's 1NN setting.
 func TrainRetrieval(enc *model.Encoder, tok *bpe.Tokenizer, lines []string, labels []bool, k int) (*RetrievalScorer, error) {

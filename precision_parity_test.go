@@ -29,9 +29,10 @@ var ladderTolerance = map[model.Precision]float64{
 
 const ladderAUCDrift = 0.01
 
-// parityFixture: one trained tiny pipeline, a float64 PCA scorer, and a
+// parityFixture: one trained tiny pipeline, a float64 retrieval scorer, the
+// training dataset (the cascade harness calibrates against it), and a
 // labeled evaluation stream.
-func parityFixture(t *testing.T) (tuning.Scorer, *corpus.Dataset) {
+func parityFixture(t *testing.T) (tuning.Scorer, *corpus.Dataset, *corpus.Dataset) {
 	t.Helper()
 	ccfg := corpus.DefaultConfig()
 	ccfg.TrainLines = 400
@@ -60,7 +61,7 @@ func parityFixture(t *testing.T) (tuning.Scorer, *corpus.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return scorer, test
+	return scorer, train, test
 }
 
 // atPrecision returns an independent scorer serving the same head at the
@@ -161,7 +162,7 @@ func TestPrecisionLadderCorpusParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("corpus parity harness builds a pipeline")
 	}
-	f64Scorer, test := parityFixture(t)
+	f64Scorer, _, test := parityFixture(t)
 
 	// Pass 1 (float64, thresholds off): learn a stable session threshold.
 	probe := runStream(t, atPrecision(t, f64Scorer, model.PrecisionFloat64), test, 0)
