@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"clmids/internal/anomaly"
+	"clmids/internal/bpe"
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
@@ -163,6 +164,17 @@ func inferBenchFixture(b *testing.B) (*core.Pipeline, []string) {
 		pcfg := core.TinyExperiment().Pipeline
 		pcfg.Pretrain.Epochs = 1
 		inferBenchPl, inferBenchErr = core.BuildPipeline(train.Lines(), pcfg)
+		if inferBenchErr == nil {
+			// Mirror clmtrain: the trained tokenizer carries a fitted
+			// token-length estimator, so the engine benchmarks exercise the
+			// estimator-bucketed lazy-encode path a bundle-served process runs.
+			est, err := bpe.FitEstimator(inferBenchPl.Tok, train.Lines())
+			if err != nil {
+				inferBenchErr = err
+				return
+			}
+			inferBenchPl.Tok.SetEstimator(est)
+		}
 		inferBenchStr = test.Lines()
 		inferBenchDS = test
 		inferBenchTrain = train.Lines()
@@ -178,6 +190,85 @@ func inferBenchWindowAt(lines []string, i int) []string {
 	windows := len(lines) / inferBenchWindow
 	at := (i % windows) * inferBenchWindow
 	return lines[at : at+inferBenchWindow]
+}
+
+// BenchmarkEncode measures the BPE tokenizer hot path in its steady state:
+// the pre-token LRU is warm, so most fields resolve with one cache probe
+// and the merge loop runs only on novel fields. AppendForModel reuses one
+// buffer, so the loop is allocation-free — this is the per-line tokenizer
+// cost an engine pays on an embedding-cache miss whose words recur.
+func BenchmarkEncode(b *testing.B) {
+	pl, lines := inferBenchFixture(b)
+	maxLen := pl.Model.Encoder.Config().MaxSeqLen
+	pl.Tok.ResetEncodeCache()
+	buf := make([]int, 0, maxLen)
+	for _, l := range lines { // converge the pre-token cache
+		buf = pl.Tok.AppendForModel(buf[:0], l, maxLen)
+	}
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range inferBenchWindowAt(lines, i) {
+			buf = pl.Tok.AppendForModel(buf[:0], l, maxLen)
+			sink += len(buf)
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("encode sink is zero; fixture broken")
+	}
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkEncodeCold is the tokenizer's worst case: the pre-token cache is
+// dropped before every window, so each field pays the full merge loop. The
+// tentpole acceptance bar for the heap-based encoder is ≥2× the rescan
+// implementation it replaced on this metric (CHANGES.md records both).
+func BenchmarkEncodeCold(b *testing.B) {
+	pl, lines := inferBenchFixture(b)
+	maxLen := pl.Model.Encoder.Config().MaxSeqLen
+	buf := make([]int, 0, maxLen)
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Tok.ResetEncodeCache()
+		for _, l := range inferBenchWindowAt(lines, i) {
+			buf = pl.Tok.AppendForModel(buf[:0], l, maxLen)
+			sink += len(buf)
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("encode sink is zero; fixture broken")
+	}
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkEstimate prices the token-length estimator against the encode
+// path it lets the engine skip: one estimate per line, cache state as the
+// serving engine would see it (warm from prior traffic).
+func BenchmarkEstimate(b *testing.B) {
+	pl, lines := inferBenchFixture(b)
+	maxLen := pl.Model.Encoder.Config().MaxSeqLen
+	est := pl.Tok.Estimator()
+	if est == nil {
+		b.Fatal("fixture tokenizer has no estimator")
+	}
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range inferBenchWindowAt(lines, i) {
+			sink += est.EstimateForModel(pl.Tok, l, maxLen)
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("estimate sink is zero; fixture broken")
+	}
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
 }
 
 // BenchmarkInferenceThroughput measures the forward-only batched inference

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Reserved special-token IDs.
@@ -55,8 +56,20 @@ type Tokenizer struct {
 	// ranks maps each learned merge to its priority (lower merges first).
 	ranks map[pair]int
 
-	mu    sync.RWMutex
-	cache map[string][]int // pretoken -> ids
+	// Encode hot-path state, compiled by finalize (encode.go): the
+	// integer-keyed merge table, the bounded LRU of encoded pre-tokens
+	// (an atomic pointer so ResetEncodeCache is safe mid-serving), and
+	// the pool of per-word merge-loop scratch arenas.
+	merges     map[uint64]mergeVal
+	wholeWords map[string]uint8
+	twoGram    [1024]uint64
+	maxTokLen  int
+	cache      atomic.Pointer[wordCache]
+	scratch    sync.Pool
+
+	// est is the optional token-count estimator riding this tokenizer
+	// (advisory only; see estimator.go).
+	est atomic.Pointer[Estimator]
 }
 
 // newSeeded returns a tokenizer holding only specials and byte symbols.
@@ -65,7 +78,6 @@ func newSeeded() *Tokenizer {
 		vocab: make(map[string]int, baseVocab),
 		inv:   make([]string, 0, baseVocab),
 		ranks: make(map[pair]int),
-		cache: make(map[string][]int),
 	}
 	for _, s := range []string{PadToken, UnkToken, ClsToken, SepToken, MaskToken} {
 		t.vocab[s] = len(t.inv)
@@ -76,6 +88,7 @@ func newSeeded() *Tokenizer {
 		t.vocab[s] = len(t.inv)
 		t.inv = append(t.inv, s)
 	}
+	t.finalize()
 	return t
 }
 
@@ -118,87 +131,62 @@ func Pretokenize(line string) []string {
 	return out
 }
 
-// encodeWord applies the learned merges to a single pre-token and returns
-// its token IDs. The hot path is cached.
-func (t *Tokenizer) encodeWord(word string) []int {
-	t.mu.RLock()
-	ids, ok := t.cache[word]
-	t.mu.RUnlock()
-	if ok {
-		return ids
-	}
-
-	symbols := make([]string, 0, len(word))
-	for i := 0; i < len(word); i++ {
-		symbols = append(symbols, word[i:i+1])
-	}
-	symbols = t.applyMerges(symbols)
-
-	ids = make([]int, len(symbols))
-	for i, s := range symbols {
-		if id, ok := t.vocab[s]; ok {
-			ids[i] = id
-		} else {
-			ids[i] = UnkID
-		}
-	}
-
-	t.mu.Lock()
-	if len(t.cache) > 1<<18 { // bound memory on adversarial inputs
-		t.cache = make(map[string][]int)
-	}
-	t.cache[word] = ids
-	t.mu.Unlock()
-	return ids
-}
-
-// applyMerges repeatedly merges the lowest-rank adjacent pair until no
-// learned merge applies.
-func (t *Tokenizer) applyMerges(symbols []string) []string {
-	for len(symbols) > 1 {
-		best := -1
-		bestRank := int(^uint(0) >> 1)
-		for i := 0; i < len(symbols)-1; i++ {
-			if r, ok := t.ranks[pair{symbols[i], symbols[i+1]}]; ok && r < bestRank {
-				bestRank = r
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		merged := symbols[best] + symbols[best+1]
-		symbols[best] = merged
-		symbols = append(symbols[:best+1], symbols[best+2:]...)
-	}
-	return symbols
-}
-
-// Encode converts a line into token IDs without special tokens.
+// Encode converts a line into token IDs without special tokens. The
+// returned slice is the caller's to mutate; it never aliases cache state.
 func (t *Tokenizer) Encode(line string) []int {
-	var out []int
-	for _, w := range Pretokenize(line) {
-		out = append(out, t.encodeWord(w)...)
-	}
-	return out
+	return t.EncodeInto(nil, line)
+}
+
+// EncodeInto appends line's token IDs to dst and returns the extended
+// slice — the allocation-free form of Encode. When every pre-token is
+// cached and dst has capacity, the call allocates nothing; cache misses pay
+// one allocation for the cached entry. Safe for concurrent use.
+func (t *Tokenizer) EncodeInto(dst []int, line string) []int {
+	return t.appendEncoded(dst, line, -1)
 }
 
 // EncodeForModel converts a line into the model input form
 // [CLS] tokens... [SEP], truncated to maxLen total tokens (the paper trims
-// command lines that exceed the maximum sequence length).
+// command lines that exceed the maximum sequence length). maxLen values
+// below 2 are clamped to 2 (a bare [CLS][SEP] frame).
 func (t *Tokenizer) EncodeForModel(line string, maxLen int) []int {
 	if maxLen < 2 {
 		maxLen = 2
 	}
-	ids := t.Encode(line)
-	if len(ids) > maxLen-2 {
-		ids = ids[:maxLen-2]
+	// Token count never exceeds the line's byte count (every symbol holds at
+	// least one byte; a word's leading space is a line byte too), so this
+	// capacity makes the single allocation exact.
+	capHint := len(line) + 2
+	if capHint > maxLen {
+		capHint = maxLen
 	}
-	out := make([]int, 0, len(ids)+2)
-	out = append(out, ClsID)
-	out = append(out, ids...)
-	out = append(out, SepID)
-	return out
+	return t.AppendForModel(make([]int, 0, capHint), line, maxLen)
+}
+
+// AppendForModel appends the model input form [CLS] tokens... [SEP] of line
+// to dst, truncated to maxLen total tokens, and returns the extended slice
+// — the allocation-free form of EncodeForModel for callers with a reusable
+// buffer. maxLen values below 2 are clamped to 2.
+func (t *Tokenizer) AppendForModel(dst []int, line string, maxLen int) []int {
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	start := len(dst)
+	dst = append(dst, ClsID)
+	// Encoding stops as soon as the body is full; whole cached words may
+	// overshoot by a few IDs, truncated right back below.
+	dst = t.appendEncoded(dst, line, maxLen-2)
+	if len(dst)-start > maxLen-1 {
+		dst = dst[:start+maxLen-1]
+	}
+	return append(dst, SepID)
+}
+
+// ResetEncodeCache drops every cached pre-token encoding. Scoring results
+// are unaffected (the cache is a pure memoization); the hook exists for
+// memory pressure and for cold-path benchmarks.
+func (t *Tokenizer) ResetEncodeCache() {
+	t.cache.Store(newWordCache(wordCacheCap))
 }
 
 // Decode converts token IDs back to text. Special tokens are dropped.

@@ -1,0 +1,482 @@
+package bpe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"unicode"
+	"unicode/utf8"
+)
+
+// The token-count estimator (ROADMAP item 3): predicts how many tokens
+// Encode would produce for a line without running the merge loop. Each
+// field resolves through two tiers, both O(field) with no allocation:
+//
+//   - exact: a field that is one vocabulary token (single probe of the
+//     whole-word table finalize compiles) counts 1; a field sitting in the
+//     word cache counts its cached length (single peek, no merge loop).
+//   - predicted: a first-sighted field goes through a per-field linear
+//     model over char-class features (byte classes, digit/alnum run shape,
+//     learned-n-gram hits) fitted against the real tokenizer at train time
+//     — the technique tokenest applies to LLM cost estimation.
+//
+// The estimate is strictly advisory: the inference engine uses it only to
+// length-bucket batches before encoding, and per-line model outputs are
+// batch-composition-invariant, so a wrong estimate can reorder work but
+// never change a score.
+
+// estFeatures is the per-field feature count including the leading bias
+// term. The features are part of the serialized format: changing them
+// requires a new format header.
+const estFeatures = 14
+
+// estimatorHeader versions the on-disk estimator format.
+const estimatorHeader = "clmids-estimator v1"
+
+// Estimator holds the fitted per-field coefficients. Estimation needs the
+// tokenizer it was fitted against (for the whole-word table, n-gram bitmap
+// and word cache), so the entry points are (*Tokenizer).EstimateTokens /
+// EstimateForModel after SetEstimator, or the explicit-tokenizer methods
+// below. The zero value is unusable; build one with FitEstimator or
+// LoadEstimator. An Estimator is immutable and safe for concurrent use.
+type Estimator struct {
+	// Weights are the linear coefficients, bias first, in fieldFeatures
+	// order.
+	Weights [estFeatures]float64 `json:"weights"`
+	// MAE is the mean absolute per-line token-count error measured by
+	// replaying the fitting corpus in serving order (informational).
+	MAE float64 `json:"mae"`
+}
+
+// fieldIter walks a line's fields with the same Unicode-whitespace
+// boundaries as the encoder, without allocating.
+type fieldIter struct {
+	line  string
+	pos   int
+	first bool
+}
+
+func newFieldIter(line string) fieldIter { return fieldIter{line: line, first: true} }
+
+// next returns the next field and whether the encoder would prefix it with
+// a space; ok is false when the line is exhausted.
+func (it *fieldIter) next() (field string, withSpace, ok bool) {
+	line := it.line
+	i := it.pos
+	for i < len(line) {
+		r, size := rune(line[i]), 1
+		if r >= utf8.RuneSelf {
+			r, size = utf8.DecodeRuneInString(line[i:])
+		}
+		if !unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	if i >= len(line) {
+		it.pos = len(line)
+		return "", false, false
+	}
+	j := i
+	for j < len(line) {
+		r, size := rune(line[j]), 1
+		if r >= utf8.RuneSelf {
+			r, size = utf8.DecodeRuneInString(line[j:])
+		}
+		if unicode.IsSpace(r) {
+			break
+		}
+		j += size
+	}
+	it.pos = j
+	withSpace = !it.first
+	it.first = false
+	return line[i:j], withSpace, true
+}
+
+// exactTokens reports the field's token count when the tokenizer already
+// knows it: whole-vocabulary-token fields are 1, word-cache residents are
+// their cached length.
+func (t *Tokenizer) exactTokens(field string, withSpace bool, cache *wordCache) (int, bool) {
+	want := wholeBare
+	if withSpace {
+		want = wholeWithSpace
+	}
+	if t.wholeWords[field]&want != 0 {
+		return 1, true
+	}
+	return cache.peek(wordKey{w: field, sp: withSpace})
+}
+
+// fieldFeatures computes one field's char-class feature vector in a single
+// byte pass. Features (after the bias):
+//
+//	bytes        field length (tokens never exceed bytes)
+//	letters      ASCII lowercase letters — the mass BPE compresses best
+//	uppers       ASCII uppercase letters (CamelCase cmdlets and paths
+//	             merge differently from lowercase mass)
+//	caseFlips    lower-to-upper transitions — CamelCase segment count
+//	digits       ASCII digits — counters and ports merge poorly
+//	punct        other printable ASCII — flag dashes, slashes, quotes
+//	other        high/control bytes — near one token per byte
+//	digitRuns    maximal digit runs (a run shape costs ~O(1) tokens extra)
+//	alnumRuns    maximal alphanumeric runs (hex ids, hashes, hostnames)
+//	bigramHits   adjacent byte pairs that are learned 2-byte tokens — the
+//	             direct compressibility signal (one bitmap probe each)
+//	trigramHits  3-byte substrings that are learned tokens
+//	fourgramHits 4-byte substrings that are learned tokens (substring map
+//	             probes; still far cheaper than the merge loop)
+//	greedyToks   tokens in a greedy longest-match parse of the field —
+//	             close to the true BPE segmentation; the fitted weight
+//	             calibrates its bias
+func (t *Tokenizer) fieldFeatures(field string, withSpace bool, f *[estFeatures]float64) {
+	var letters, uppers, caseFlips, digits, punct, other, digitRuns, alnumRuns int
+	var bigramHits, trigramHits, fourgramHits int
+	inDigits, inAlnum, inLower := false, false, false
+	for k := 0; k < len(field); k++ {
+		c := field[k]
+		isDigit := c >= '0' && c <= '9'
+		isLower := c >= 'a' && c <= 'z'
+		isUpper := c >= 'A' && c <= 'Z'
+		isLetter := isLower || isUpper
+		switch {
+		case isDigit:
+			digits++
+		case isLower:
+			letters++
+		case isUpper:
+			uppers++
+			if inLower {
+				caseFlips++
+			}
+		case c >= 0x20 && c < 0x7f:
+			punct++
+		default:
+			other++
+		}
+		inLower = isLower
+		if isDigit && !inDigits {
+			digitRuns++
+		}
+		inDigits = isDigit
+		if (isDigit || isLetter) && !inAlnum {
+			alnumRuns++
+		}
+		inAlnum = isDigit || isLetter
+		if k+1 < len(field) {
+			idx := uint32(c)<<8 | uint32(field[k+1])
+			if t.twoGram[idx>>6]&(1<<(idx&63)) != 0 {
+				bigramHits++
+			}
+		}
+		if k+2 < len(field) {
+			if _, ok := t.vocab[field[k:k+3]]; ok {
+				trigramHits++
+			}
+		}
+		if k+3 < len(field) {
+			if _, ok := t.vocab[field[k:k+4]]; ok {
+				fourgramHits++
+			}
+		}
+	}
+	f[0] = 1
+	f[1] = float64(len(field))
+	f[2] = float64(letters)
+	f[3] = float64(uppers)
+	f[4] = float64(caseFlips)
+	f[5] = float64(digits)
+	f[6] = float64(punct)
+	f[7] = float64(other)
+	f[8] = float64(digitRuns)
+	f[9] = float64(alnumRuns)
+	f[10] = float64(bigramHits)
+	f[11] = float64(trigramHits)
+	f[12] = float64(fourgramHits)
+	f[13] = float64(t.greedyTokens(field, withSpace))
+}
+
+// greedyTokens parses the field greedily, consuming the longest vocabulary
+// token at each position (probe depth capped by finalize). The first token
+// of a space-carrying field is matched in its space-prefixed form — that is
+// where BPE concentrates its biggest learned tokens (" C:\\Users\\..."), so
+// probing bare bytes there would systematically over-count. Greedy
+// longest-match is not the BPE merge order, but it tracks it closely and
+// the regression absorbs the systematic difference.
+func (t *Tokenizer) greedyTokens(field string, withSpace bool) int {
+	n := 0
+	for i := 0; i < len(field); {
+		l := t.maxTokLen
+		if rem := len(field) - i; l > rem {
+			l = rem
+		}
+		want := wholeBare
+		if i == 0 && withSpace {
+			want = wholeWithSpace
+		}
+		step := 1
+		for ; l >= 2; l-- {
+			if t.wholeWords[field[i:i+l]]&want != 0 {
+				step = l
+				break
+			}
+		}
+		i += step
+		n++
+	}
+	return n
+}
+
+// predictField runs the fitted model on one first-sighted field, clamped to
+// the hard bounds [1, bytes(+space)].
+func (e *Estimator) predictField(t *Tokenizer, field string, withSpace bool) int {
+	var f [estFeatures]float64
+	t.fieldFeatures(field, withSpace, &f)
+	sum := 0.0
+	for i := 0; i < estFeatures; i++ {
+		sum += e.Weights[i] * f[i]
+	}
+	n := int(math.Round(sum))
+	if n < 1 {
+		n = 1
+	}
+	max := len(field)
+	if withSpace {
+		max++
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// FitEstimator fits the per-field model against the real tokenizer on a
+// corpus by ridge-regularized least squares (normal equations; the tiny
+// ridge term only guards against degenerate corpora). The word cache is
+// reset first so fitting is deterministic for a given corpus, and each
+// field is sampled at first sighting — before its line is encoded — so the
+// model trains on exactly the fields that would be unknown at serve time;
+// repeat fields flow through the exact tier just as they do in production.
+// Per-field ground truth is peeked from the word cache the encode pass
+// fills. The cache is left warm with the fitting corpus.
+func FitEstimator(tok *Tokenizer, lines []string) (*Estimator, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("bpe: estimator needs a non-empty fitting corpus")
+	}
+	tok.ResetEncodeCache()
+	cache := tok.cache.Load()
+	var xtx [estFeatures][estFeatures]float64
+	var xty [estFeatures]float64
+	var f [estFeatures]float64
+	var buf []int
+	type pending struct {
+		field     string
+		withSpace bool
+	}
+	var newFields []pending
+	for _, line := range lines {
+		newFields = newFields[:0]
+		it := newFieldIter(line)
+		for {
+			field, withSpace, ok := it.next()
+			if !ok {
+				break
+			}
+			if _, known := tok.exactTokens(field, withSpace, cache); !known {
+				newFields = append(newFields, pending{field, withSpace})
+			}
+		}
+		buf = tok.EncodeInto(buf[:0], line)
+		for _, p := range newFields {
+			y, ok := cache.peek(wordKey{w: p.field, sp: p.withSpace})
+			if !ok {
+				continue // evicted mid-corpus; vanishingly rare, just skip
+			}
+			tok.fieldFeatures(p.field, p.withSpace, &f)
+			for i := 0; i < estFeatures; i++ {
+				for j := 0; j < estFeatures; j++ {
+					xtx[i][j] += f[i] * f[j]
+				}
+				xty[i] += f[i] * float64(y)
+			}
+		}
+	}
+	ridge := 0.0
+	for i := 0; i < estFeatures; i++ {
+		ridge += xtx[i][i]
+	}
+	ridge = ridge/estFeatures*1e-9 + 1e-9
+	for i := 0; i < estFeatures; i++ {
+		xtx[i][i] += ridge
+	}
+	w, err := solveNormal(&xtx, &xty)
+	if err != nil {
+		return nil, err
+	}
+	est := &Estimator{Weights: w}
+	// Measure MAE by replaying the corpus in serving order: estimate each
+	// line before encoding it, against a cache holding only earlier lines.
+	tok.ResetEncodeCache()
+	var sumAbs float64
+	for _, line := range lines {
+		guess := est.EstimateTokens(tok, line)
+		buf = tok.EncodeInto(buf[:0], line)
+		sumAbs += math.Abs(float64(guess) - float64(len(buf)))
+	}
+	est.MAE = sumAbs / float64(len(lines))
+	return est, nil
+}
+
+// solveNormal solves the ridged normal equations by Gaussian elimination
+// with partial pivoting.
+func solveNormal(a *[estFeatures][estFeatures]float64, b *[estFeatures]float64) ([estFeatures]float64, error) {
+	var m [estFeatures][estFeatures + 1]float64
+	for i := 0; i < estFeatures; i++ {
+		copy(m[i][:estFeatures], a[i][:])
+		m[i][estFeatures] = b[i]
+	}
+	for col := 0; col < estFeatures; col++ {
+		piv := col
+		for r := col + 1; r < estFeatures; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if m[piv][col] == 0 {
+			return [estFeatures]float64{}, fmt.Errorf("bpe: singular estimator system at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < estFeatures; r++ {
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= estFeatures; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	var w [estFeatures]float64
+	for i := estFeatures - 1; i >= 0; i-- {
+		sum := m[i][estFeatures]
+		for j := i + 1; j < estFeatures; j++ {
+			sum -= m[i][j] * w[j]
+		}
+		w[i] = sum / m[i][i]
+	}
+	return w, nil
+}
+
+// EstimateTokens predicts len(Encode(line)) — zero exactly when the line
+// has no fields (matching the encoder), otherwise at least one token per
+// field. Fields the tokenizer already knows (whole vocabulary tokens,
+// cached words) are counted exactly; only first-sighted fields go through
+// the fitted model.
+func (e *Estimator) EstimateTokens(t *Tokenizer, line string) int {
+	cache := t.cache.Load()
+	total := 0
+	it := newFieldIter(line)
+	for {
+		field, withSpace, ok := it.next()
+		if !ok {
+			return total
+		}
+		if n, known := t.exactTokens(field, withSpace, cache); known {
+			total += n
+			continue
+		}
+		total += e.predictField(t, field, withSpace)
+	}
+}
+
+// EstimateForModel predicts len(EncodeForModel(line, maxLen)): the body
+// estimate plus the [CLS]/[SEP] frame, clamped to [2, maxLen] exactly as
+// the encoder clamps.
+func (e *Estimator) EstimateForModel(t *Tokenizer, line string, maxLen int) int {
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	n := e.EstimateTokens(t, line) + 2
+	if n > maxLen {
+		n = maxLen
+	}
+	return n
+}
+
+// LengthBucket maps a token count to the coarse length class used to judge
+// estimator quality: batches assembled from same-bucket lines have
+// near-uniform sequence lengths, which is all bucketing is for. Width 8
+// matches the engine's token-budget granularity at typical MaxSeqLen.
+func LengthBucket(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n / 8
+}
+
+// Save writes the estimator in its versioned format (a header line
+// followed by canonical JSON). Serialization is deterministic, so the
+// bundle layer's content addressing sees identical bytes for identical
+// fits.
+func (e *Estimator) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, estimatorHeader)
+	js, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	bw.Write(js)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// LoadEstimator reads an estimator previously written by Save.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("bpe: reading estimator header: %w", err)
+	}
+	if header != estimatorHeader+"\n" {
+		return nil, fmt.Errorf("bpe: bad estimator header %q", header)
+	}
+	var est Estimator
+	dec := json.NewDecoder(br)
+	if err := dec.Decode(&est); err != nil {
+		return nil, fmt.Errorf("bpe: decoding estimator: %w", err)
+	}
+	for i, w := range est.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("bpe: estimator weight %d is not finite", i)
+		}
+	}
+	return &est, nil
+}
+
+// SetEstimator attaches (or with nil, detaches) a token-count estimator.
+// Engines over this tokenizer pick it up for batch bucketing; scores never
+// depend on it. Safe to call while the tokenizer is serving.
+func (t *Tokenizer) SetEstimator(e *Estimator) { t.est.Store(e) }
+
+// Estimator returns the attached token-count estimator, or nil.
+func (t *Tokenizer) Estimator() *Estimator { return t.est.Load() }
+
+// EstimateTokens predicts len(Encode(line)) via the attached estimator.
+// The second result is false when no estimator is attached.
+func (t *Tokenizer) EstimateTokens(line string) (int, bool) {
+	e := t.est.Load()
+	if e == nil {
+		return 0, false
+	}
+	return e.EstimateTokens(t, line), true
+}
+
+// EstimateForModel predicts len(EncodeForModel(line, maxLen)) via the
+// attached estimator. The second result is false when no estimator is
+// attached.
+func (t *Tokenizer) EstimateForModel(line string, maxLen int) (int, bool) {
+	e := t.est.Load()
+	if e == nil {
+		return 0, false
+	}
+	return e.EstimateForModel(t, line, maxLen), true
+}

@@ -1,0 +1,195 @@
+package bpe
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"clmids/internal/modality"
+)
+
+func fitOn(t testing.TB, tok *Tokenizer, lines []string) *Estimator {
+	t.Helper()
+	est, err := FitEstimator(tok, lines)
+	if err != nil {
+		t.Fatalf("FitEstimator: %v", err)
+	}
+	return est
+}
+
+// TestEstimatorBucketAgreement is the satellite accuracy bar: on every
+// supported modality, the estimator must place ≥95% of held-out lines in
+// the same length bucket as the real tokenizer. Bucketing is the only thing
+// the engine uses the estimate for, so bucket agreement is the figure of
+// merit — not exact token counts.
+func TestEstimatorBucketAgreement(t *testing.T) {
+	for _, mod := range []string{modality.Shell, modality.PowerShell, modality.Flows} {
+		t.Run(mod, func(t *testing.T) {
+			train, test := modalityCorpus(t, mod, 2000, 1000)
+			tok, err := Train(train, TrainConfig{VocabSize: 800})
+			if err != nil {
+				t.Fatalf("Train: %v", err)
+			}
+			est := fitOn(t, tok, train)
+			agree, total := 0, 0
+			for _, line := range test {
+				// Estimate before encoding, exactly as the engine does: the
+				// estimator may not peek at this line's own encoding, only at
+				// state earlier traffic left behind.
+				guess := est.EstimateTokens(tok, line)
+				truth := len(tok.Encode(line))
+				if truth == 0 {
+					continue
+				}
+				total++
+				if LengthBucket(guess) == LengthBucket(truth) {
+					agree++
+				}
+			}
+			if total == 0 {
+				t.Fatal("no non-empty test lines")
+			}
+			frac := float64(agree) / float64(total)
+			t.Logf("%s: bucket agreement %.4f (%d/%d), fit MAE %.3f tokens", mod, frac, agree, total, est.MAE)
+			if frac < 0.95 {
+				t.Fatalf("bucket agreement %.4f < 0.95", frac)
+			}
+		})
+	}
+}
+
+func TestEstimatorEdgeCases(t *testing.T) {
+	tok := trainSample(t, 500)
+	est := fitOn(t, tok, sampleCorpus)
+	// Empty and all-whitespace lines must estimate 0, matching Encode.
+	for _, line := range []string{"", "   ", "\t\n"} {
+		if got := est.EstimateTokens(tok, line); got != 0 {
+			t.Errorf("EstimateTokens(%q) = %d, want 0", line, got)
+		}
+	}
+	// Non-empty lines estimate at least one token.
+	if got := est.EstimateTokens(tok, "x"); got < 1 {
+		t.Errorf("EstimateTokens(\"x\") = %d, want >= 1", got)
+	}
+	// The model form is clamped to [2, maxLen], like EncodeForModel.
+	long := strings.Repeat("verylongword ", 50)
+	if got := est.EstimateForModel(tok, long, 16); got != 16 {
+		t.Errorf("EstimateForModel(long, 16) = %d, want 16", got)
+	}
+	if got := est.EstimateForModel(tok, "", 16); got != 2 {
+		t.Errorf("EstimateForModel(\"\", 16) = %d, want 2", got)
+	}
+	if got := est.EstimateForModel(tok, "ls", -1); got != 2 {
+		t.Errorf("EstimateForModel(ls, -1) = %d, want 2 (clamp)", got)
+	}
+}
+
+func TestEstimatorZeroAlloc(t *testing.T) {
+	tok := trainSample(t, 500)
+	est := fitOn(t, tok, sampleCorpus)
+	line := "docker run --rm -it ubuntu bash -c 'ls -la /data'"
+	if n := testing.AllocsPerRun(100, func() { est.EstimateTokens(tok, line) }); n != 0 {
+		t.Errorf("EstimateTokens allocs/op = %v, want 0", n)
+	}
+}
+
+func TestFitEstimatorEmptyCorpus(t *testing.T) {
+	tok := trainSample(t, 400)
+	if _, err := FitEstimator(tok, nil); err == nil {
+		t.Fatal("expected error on empty fitting corpus")
+	}
+}
+
+func TestFitEstimatorDegenerateCorpus(t *testing.T) {
+	// All-identical lines make the normal equations rank-deficient; the
+	// ridge term must keep the fit finite and useful.
+	tok := trainSample(t, 400)
+	lines := make([]string, 50)
+	for i := range lines {
+		lines[i] = "ls -la /tmp"
+	}
+	est := fitOn(t, tok, lines)
+	truth := len(tok.Encode("ls -la /tmp"))
+	if got := est.EstimateTokens(tok, "ls -la /tmp"); got != truth {
+		t.Fatalf("degenerate fit estimates %d, truth %d", got, truth)
+	}
+	for _, w := range est.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("degenerate fit produced non-finite weight %v", est.Weights)
+		}
+	}
+}
+
+func TestEstimatorDeterministic(t *testing.T) {
+	tok := trainSample(t, 500)
+	a := fitOn(t, tok, sampleCorpus)
+	b := fitOn(t, tok, sampleCorpus)
+	if a.Weights != b.Weights {
+		t.Fatalf("fitting is not deterministic:\n%v\n%v", a.Weights, b.Weights)
+	}
+}
+
+func TestEstimatorSaveLoadRoundTrip(t *testing.T) {
+	tok := trainSample(t, 500)
+	est := fitOn(t, tok, sampleCorpus)
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	first := buf.String()
+	loaded, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatalf("LoadEstimator: %v", err)
+	}
+	if loaded.Weights != est.Weights || loaded.MAE != est.MAE {
+		t.Fatalf("round trip changed estimator: %+v vs %+v", loaded, est)
+	}
+	// Serialization must be byte-deterministic for bundle content addressing.
+	var buf2 bytes.Buffer
+	if err := est.Save(&buf2); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if buf2.String() != first {
+		t.Fatal("Save is not byte-deterministic")
+	}
+}
+
+func TestLoadEstimatorRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-header\n{}",
+		"clmids-estimator v1\nnot-json",
+		"clmids-estimator v1\n{\"weights\":[1e999,0,0,0,0,0,0,0,0],\"mae\":0}",
+	}
+	for _, in := range bad {
+		if _, err := LoadEstimator(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadEstimator(%q): expected error", in)
+		}
+	}
+}
+
+func TestTokenizerEstimatorAttach(t *testing.T) {
+	tok := trainSample(t, 500)
+	if tok.Estimator() != nil {
+		t.Fatal("fresh tokenizer should have no estimator")
+	}
+	est := fitOn(t, tok, sampleCorpus)
+	tok.SetEstimator(est)
+	if tok.Estimator() != est {
+		t.Fatal("SetEstimator did not attach")
+	}
+	tok.SetEstimator(nil)
+	if tok.Estimator() != nil {
+		t.Fatal("SetEstimator(nil) did not detach")
+	}
+}
+
+func TestLengthBucket(t *testing.T) {
+	if LengthBucket(-1) != 0 {
+		t.Error("negative counts must land in bucket 0")
+	}
+	if LengthBucket(7) != 0 || LengthBucket(8) != 1 || LengthBucket(16) != 2 {
+		t.Error("bucket width is not 8")
+	}
+}

@@ -77,7 +77,6 @@ func Load(r io.Reader) (*Tokenizer, error) {
 		vocab: make(map[string]int, n),
 		inv:   make([]string, 0, n),
 		ranks: make(map[pair]int),
-		cache: make(map[string][]int),
 	}
 	for i := 0; i < n; i++ {
 		line, err = read()
@@ -114,6 +113,7 @@ func Load(r io.Reader) (*Tokenizer, error) {
 	if err := t.validate(); err != nil {
 		return nil, err
 	}
+	t.finalize()
 	return t, nil
 }
 

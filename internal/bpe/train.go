@@ -135,6 +135,8 @@ func Train(corpus []string, cfg TrainConfig) (*Tokenizer, error) {
 		delete(pairFreq, best)
 		delete(pairWords, best)
 	}
+	// Compile the learned merges into the integer-keyed encode tables.
+	t.finalize()
 	return t, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"clmids/internal/bpe"
 	"clmids/internal/commercial"
 	"clmids/internal/corpus"
 	"clmids/internal/faults"
@@ -343,5 +344,86 @@ func TestBundleCorruptTyped(t *testing.T) {
 	// The pristine bundle still loads — the damage helpers copy, not mutate.
 	if _, err := LoadScorerBundle(src); err != nil {
 		t.Errorf("pristine bundle no longer loads: %v", err)
+	}
+}
+
+// TestBundleEstimatorRoundTrip pins the estimator section: a tokenizer
+// carrying a fitted token-length estimator saves it as a fifth section,
+// loading restores it onto the loaded tokenizer, scores stay byte-identical
+// with or without it (it is advisory), and a corrupted section is rejected
+// like any other.
+func TestBundleEstimatorRoundTrip(t *testing.T) {
+	f := getBundleFixture(t)
+	bs, err := BuildScorerFull(f.pl, ScorerConfig{Method: "pca", Seed: 1}, f.baseLines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bs.Scorer.Score(f.evalLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est, err := bpe.FitEstimator(f.pl.Tok, f.baseLines)
+	if err != nil {
+		t.Fatalf("FitEstimator: %v", err)
+	}
+	f.pl.Tok.SetEstimator(est)
+	t.Cleanup(func() { f.pl.Tok.SetEstimator(nil) })
+
+	// A fresh replica (cold caches) now serves through the estimator-bucketed
+	// path; the estimate is advisory, so scores must not move.
+	reps, err := ReplicateScorer(bs.Scorer, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reps[1].Score(f.evalLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("estimator changed score of line %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	dir := t.TempDir()
+	man, err := SaveBundle(dir, f.pl, bs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Estimator || len(man.Checksums) != 5 {
+		t.Fatalf("manifest missing estimator section: %+v", man)
+	}
+	if secs := SectionFiles(man); secs[len(secs)-1] != "estimator.json" {
+		t.Fatalf("SectionFiles omits estimator: %v", secs)
+	}
+	lb, err := LoadScorerBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := lb.Tok.Estimator()
+	if loaded == nil {
+		t.Fatal("loaded tokenizer has no estimator")
+	}
+	if loaded.Weights != est.Weights || loaded.MAE != est.MAE {
+		t.Fatalf("estimator round trip drifted: %+v vs %+v", loaded, est)
+	}
+	lgot, err := lb.Scorer.Score(f.evalLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if lgot[i] != want[i] {
+			t.Fatalf("loaded bundle diverges at line %d: %v vs %v", i, lgot[i], want[i])
+		}
+	}
+
+	// A damaged estimator section is corruption, same as every other section.
+	dst := filepath.Join(t.TempDir(), "bad-est")
+	if err := faults.CorruptBundleCopy(dir, dst, "estimator.json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScorerBundle(dst); !errors.Is(err, ErrBundleCorrupt) {
+		t.Fatalf("corrupt estimator section: error %v, want ErrBundleCorrupt", err)
 	}
 }

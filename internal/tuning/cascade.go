@@ -271,6 +271,9 @@ func (c *CascadeScorer) CacheStats() CacheStats {
 			out.Hits += st.Hits
 			out.Misses += st.Misses
 			out.Entries += st.Entries
+			out.EncodedHits += st.EncodedHits
+			out.EncodedMisses += st.EncodedMisses
+			out.EncodedEntries += st.EncodedEntries
 		}
 	}
 	return out

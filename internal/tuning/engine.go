@@ -21,6 +21,15 @@ import (
 // LRU cache keyed by the whitespace-normalized line exploits the heavy
 // duplication of real command logs across calls.
 //
+// Below the embedding cache sits a second, cheaper LRU over encoded token
+// sequences: a line whose embedding was evicted (or requested under the
+// other feature kind) skips tokenization entirely. Lines missing both
+// caches are length-bucketed by the tokenizer's estimator when one is
+// attached — the tokenizer runs lazily inside the batch workers — so the
+// scheduler never pays encoding cost just to sort. The estimate is
+// strictly advisory: it picks which batch a line lands in, never its
+// tokens or its score.
+//
 // An Engine must only be used while its encoder's weights are frozen:
 // cached embeddings are never invalidated. Methods are safe for concurrent
 // use.
@@ -29,11 +38,15 @@ type Engine struct {
 	tok *bpe.Tokenizer
 	cfg EngineConfig
 
-	pool  sync.Pool // *model.InferScratch, one per active worker
-	cache *lruCache // nil when disabled
+	pool     sync.Pool          // *model.InferScratch, one per active worker
+	cache    *lruCache[float64] // embedding rows; nil when disabled
+	encCache *lruCache[int]     // encoded token sequences; nil when disabled
 
-	cacheHits   atomic.Int64 // representatives served from the LRU
-	cacheMisses atomic.Int64 // representatives that paid encoder cost
+	cacheHits   atomic.Int64 // representatives served from the embedding LRU
+	cacheMisses atomic.Int64 // representatives that missed the embedding LRU
+
+	encodedHits   atomic.Int64 // embedding misses served from the encoded LRU
+	encodedMisses atomic.Int64 // embedding misses that paid tokenizer cost
 }
 
 // EngineConfig sizes the inference engine. The zero value selects defaults.
@@ -51,6 +64,12 @@ type EngineConfig struct {
 	// normalized lines per feature kind (0 disables; negative also
 	// disables).
 	CacheLines int
+	// EncodedCacheLines enables an LRU over encoded token sequences holding
+	// up to this many normalized lines, shared by both feature kinds. The
+	// zero value follows CacheLines (the encoded cache is far cheaper per
+	// entry than an embedding row, so matching capacities is a safe floor);
+	// negative disables.
+	EncodedCacheLines int
 	// Precision selects the serve-path arithmetic rung (the zero value is
 	// float64, the canonical path). On the low rungs every worker scratch
 	// is a float32 arena and the encoder's weights are lowered once at
@@ -80,6 +99,9 @@ func NewEngine(enc *model.Encoder, tok *bpe.Tokenizer, cfg EngineConfig) *Engine
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.EncodedCacheLines == 0 {
+		cfg.EncodedCacheLines = cfg.CacheLines
+	}
 	if cfg.Precision == "" {
 		cfg.Precision = model.PrecisionFloat64
 	}
@@ -97,7 +119,10 @@ func NewEngine(enc *model.Encoder, tok *bpe.Tokenizer, cfg EngineConfig) *Engine
 		return model.NewInferScratchPrec(enc.Config(), cfg.BatchTokens, cfg.Precision)
 	}
 	if cfg.CacheLines > 0 {
-		e.cache = newLRUCache(cfg.CacheLines)
+		e.cache = newLRUCache[float64](cfg.CacheLines)
+	}
+	if cfg.EncodedCacheLines > 0 {
+		e.encCache = newLRUCache[int](cfg.EncodedCacheLines)
 	}
 	return e
 }
@@ -126,13 +151,19 @@ func (e *Engine) Clone() *Engine {
 	return NewEngine(e.enc, e.tok, e.cfg)
 }
 
-// CacheStats is a snapshot of an engine's LRU embedding-cache counters.
-// Hits and Misses count cache probes of deduplicated representatives (a
+// CacheStats is a snapshot of an engine's LRU cache counters. Hits and
+// Misses count embedding-cache probes of deduplicated representatives (a
 // within-call duplicate never probes); Entries is the live entry count.
+// The Encoded counters mirror them for the encoded-line LRU, which only
+// representatives that missed the embedding cache ever probe.
 type CacheStats struct {
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
 	Entries int   `json:"entries"`
+
+	EncodedHits    int64 `json:"encoded_hits"`
+	EncodedMisses  int64 `json:"encoded_misses"`
+	EncodedEntries int   `json:"encoded_entries"`
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any probe.
@@ -143,12 +174,18 @@ func (s CacheStats) HitRate() float64 {
 	return 0
 }
 
-// CacheStats snapshots the engine's embedding-cache counters. With the
-// cache disabled every representative counts as a miss.
+// CacheStats snapshots the engine's cache counters. With a cache disabled
+// every probe of it counts as a miss.
 func (e *Engine) CacheStats() CacheStats {
-	s := CacheStats{Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load()}
+	s := CacheStats{
+		Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load(),
+		EncodedHits: e.encodedHits.Load(), EncodedMisses: e.encodedMisses.Load(),
+	}
 	if e.cache != nil {
 		s.Entries = e.cache.len()
+	}
+	if e.encCache != nil {
+		s.EncodedEntries = e.encCache.len()
 	}
 	return s
 }
@@ -242,15 +279,53 @@ func (e *Engine) run(lines []string, feat int) (*tensor.Matrix, error) {
 
 // computeInto tokenizes the missed lines, buckets them by token length,
 // and runs the batches across workers, writing rows of out in place.
+//
+// Token sequences come from three tiers. The encoded-line LRU serves
+// repeat lines without touching the tokenizer. Remaining lines are either
+// encoded upfront in parallel (no estimator attached, exact lengths for
+// bucketing) or length-bucketed by the tokenizer's estimator and encoded
+// lazily inside the batch workers. The estimate is strictly advisory: a
+// wrong guess lands a line in a less uniform batch — at worst growing one
+// worker's scratch arena once — but the tokens fed to the model, and so
+// every score, are identical either way.
 func (e *Engine) computeInto(lines, keys []string, misses []int, feat int, out *tensor.Matrix) error {
 	mcfg := e.enc.Config()
-	seqs := make([][]int, len(misses))
-	e.parallel(len(misses), func(lo, hi int) error {
-		for m := lo; m < hi; m++ {
-			seqs[m] = e.tok.EncodeForModel(lines[misses[m]], mcfg.MaxSeqLen)
+	seqs := make([][]int, len(misses)) // nil = encode lazily in the worker
+	lens := make([]int, len(misses))   // bucketing key; exact when seqs[m] != nil
+
+	encHits := 0
+	if e.encCache != nil {
+		for m := range misses {
+			if seq, ok := e.encCache.get(keys[misses[m]]); ok {
+				seqs[m], lens[m] = seq, len(seq)
+				encHits++
+			}
 		}
-		return nil
-	})
+	}
+	e.encodedHits.Add(int64(encHits))
+	e.encodedMisses.Add(int64(len(misses) - encHits))
+
+	if est := e.tok.Estimator(); est != nil {
+		for m := range misses {
+			if seqs[m] == nil {
+				lens[m] = est.EstimateForModel(e.tok, lines[misses[m]], mcfg.MaxSeqLen)
+			}
+		}
+	} else {
+		e.parallel(len(misses), func(lo, hi int) error {
+			for m := lo; m < hi; m++ {
+				if seqs[m] != nil {
+					continue
+				}
+				seqs[m] = e.tok.EncodeForModel(lines[misses[m]], mcfg.MaxSeqLen)
+				lens[m] = len(seqs[m])
+				if e.encCache != nil {
+					e.encCache.put(keys[misses[m]], seqs[m])
+				}
+			}
+			return nil
+		})
+	}
 
 	// Length bucketing: sorting by token count makes each batch's
 	// sequences uniform, so the token budget yields evenly-sized batches
@@ -261,14 +336,14 @@ func (e *Engine) computeInto(lines, keys []string, misses []int, feat int, out *
 		order[m] = m
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return len(seqs[order[a]]) < len(seqs[order[b]])
+		return lens[order[a]] < lens[order[b]]
 	})
 
 	// Greedy batch assembly under the line and token budgets.
 	var batches []batchSpec
 	lo, tokens := 0, 0
 	for at, m := range order {
-		n := len(seqs[m])
+		n := lens[m]
 		if at > lo && (at-lo >= e.cfg.BatchLines || tokens+n > e.cfg.BatchTokens) {
 			batches = append(batches, batchSpec{lo, at})
 			lo, tokens = at, 0
@@ -293,8 +368,19 @@ func (e *Engine) computeInto(lines, keys []string, misses []int, feat int, out *
 			b := batches[bi]
 			var batch model.Batch
 			for _, m := range order[b.lo:b.hi] {
-				batch.IDs = append(batch.IDs, seqs[m]...)
-				batch.Lens = append(batch.Lens, len(seqs[m]))
+				if seq := seqs[m]; seq != nil {
+					batch.IDs = append(batch.IDs, seq...)
+					batch.Lens = append(batch.Lens, len(seq))
+					continue
+				}
+				// Estimator path: first touch of this line, encoded here,
+				// straight into the batch buffer.
+				pre := len(batch.IDs)
+				batch.IDs = e.tok.AppendForModel(batch.IDs, lines[misses[m]], mcfg.MaxSeqLen)
+				batch.Lens = append(batch.Lens, len(batch.IDs)-pre)
+				if e.encCache != nil {
+					e.encCache.put(keys[misses[m]], batch.IDs[pre:])
+				}
 			}
 			dst := pooled
 			if n := b.hi - b.lo; n > dst.Rows {
@@ -394,27 +480,29 @@ func cacheKey(feat int, norm string) string {
 	return "m\x00" + norm
 }
 
-// lruCache is a mutex-guarded LRU over embedding rows.
-type lruCache struct {
+// lruCache is a mutex-guarded LRU over slices — embedding rows (float64)
+// and encoded token sequences (int) share the one implementation.
+type lruCache[E any] struct {
 	mu    sync.Mutex
 	cap   int
-	items map[string]*lruEntry
-	head  *lruEntry // most recent
-	tail  *lruEntry // least recent
+	items map[string]*lruEntry[E]
+	head  *lruEntry[E] // most recent
+	tail  *lruEntry[E] // least recent
 }
 
-type lruEntry struct {
+type lruEntry[E any] struct {
 	key        string
-	row        []float64
-	prev, next *lruEntry
+	row        []E
+	prev, next *lruEntry[E]
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, items: make(map[string]*lruEntry, capacity)}
+func newLRUCache[E any](capacity int) *lruCache[E] {
+	return &lruCache[E]{cap: capacity, items: make(map[string]*lruEntry[E], capacity)}
 }
 
-// get returns the cached row (shared slice; callers copy, never mutate).
-func (c *lruCache) get(key string) ([]float64, bool) {
+// get returns the cached row (shared slice; callers copy or read, never
+// mutate).
+func (c *lruCache[E]) get(key string) ([]E, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ent, ok := c.items[key]
@@ -427,14 +515,14 @@ func (c *lruCache) get(key string) ([]float64, bool) {
 
 // put inserts a copy of row, evicting the least-recently-used entry when
 // full.
-func (c *lruCache) put(key string, row []float64) {
+func (c *lruCache[E]) put(key string, row []E) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if ent, ok := c.items[key]; ok {
 		c.moveToFront(ent)
 		return
 	}
-	ent := &lruEntry{key: key, row: append([]float64(nil), row...)}
+	ent := &lruEntry[E]{key: key, row: append([]E(nil), row...)}
 	c.items[key] = ent
 	c.pushFront(ent)
 	if len(c.items) > c.cap {
@@ -445,13 +533,13 @@ func (c *lruCache) put(key string, row []float64) {
 }
 
 // len reports the live entry count (test hook).
-func (c *lruCache) len() int {
+func (c *lruCache[E]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.items)
 }
 
-func (c *lruCache) pushFront(ent *lruEntry) {
+func (c *lruCache[E]) pushFront(ent *lruEntry[E]) {
 	ent.prev = nil
 	ent.next = c.head
 	if c.head != nil {
@@ -463,7 +551,7 @@ func (c *lruCache) pushFront(ent *lruEntry) {
 	}
 }
 
-func (c *lruCache) unlink(ent *lruEntry) {
+func (c *lruCache[E]) unlink(ent *lruEntry[E]) {
 	if ent.prev != nil {
 		ent.prev.next = ent.next
 	} else {
@@ -477,7 +565,7 @@ func (c *lruCache) unlink(ent *lruEntry) {
 	ent.prev, ent.next = nil, nil
 }
 
-func (c *lruCache) moveToFront(ent *lruEntry) {
+func (c *lruCache[E]) moveToFront(ent *lruEntry[E]) {
 	if c.head == ent {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"clmids/internal/bpe"
 	"clmids/internal/tensor"
 )
 
@@ -139,7 +140,7 @@ func TestNormalizeLine(t *testing.T) {
 }
 
 func TestLRUCache(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache[float64](2)
 	c.put("a", []float64{1})
 	c.put("b", []float64{2})
 	if _, ok := c.get("a"); !ok {
@@ -165,6 +166,154 @@ func TestLRUCache(t *testing.T) {
 	src[0] = -1
 	if row, _ := c.get("d"); row[0] != 9 {
 		t.Errorf("cache shares caller memory: %v", row)
+	}
+}
+
+// TestEngineEncodedCache pins the encoded-line LRU tier: with the
+// embedding cache off, repeat calls must serve token sequences from the
+// encoded cache (hits accrue, entries stay bounded) and both feature kinds
+// share the same entries — all without changing a single output bit.
+func TestEngineEncodedCache(t *testing.T) {
+	f := getFixture(t)
+	lines := engineFixtureLines(f)
+	want, err := EmbedLinesTape(f.mdl.Encoder, f.tok, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EngineConfig{CacheLines: -1, EncodedCacheLines: 64}
+	engine := NewEngine(f.mdl.Encoder, f.tok, cfg)
+	reps := int64(engine.CacheStats().EncodedMisses) // 0 before traffic
+	if reps != 0 {
+		t.Fatalf("fresh engine has encoded misses: %d", reps)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := engine.EmbedLines(lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("pass %d: element %d mismatch", pass, i)
+			}
+		}
+	}
+	st := engine.CacheStats()
+	if st.EncodedHits == 0 {
+		t.Fatal("second pass never hit the encoded cache")
+	}
+	if st.EncodedMisses == 0 || st.EncodedHits != st.EncodedMisses {
+		t.Fatalf("want one hit per first-pass miss, got hits=%d misses=%d", st.EncodedHits, st.EncodedMisses)
+	}
+	if st.EncodedEntries == 0 || st.EncodedEntries > 64 {
+		t.Fatalf("encoded entries %d outside (0, 64]", st.EncodedEntries)
+	}
+	// CLS rows need the same token sequences: the encoded cache is shared
+	// across feature kinds, so this call is all hits.
+	if _, err := engine.CLSLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	st2 := engine.CacheStats()
+	if st2.EncodedMisses != st.EncodedMisses {
+		t.Fatalf("CLS pass re-encoded %d lines", st2.EncodedMisses-st.EncodedMisses)
+	}
+}
+
+// TestEngineEncodedCacheBounded forces eviction pressure on a tiny encoded
+// cache and checks correctness survives it.
+func TestEngineEncodedCacheBounded(t *testing.T) {
+	f := getFixture(t)
+	var lines []string
+	for i := 0; i < 60; i++ {
+		lines = append(lines, fmt.Sprintf("tail -n %d /var/log/app%d.log", i, i))
+	}
+	cfg := EngineConfig{CacheLines: -1, EncodedCacheLines: 4, Workers: 4}
+	engine := NewEngine(f.mdl.Encoder, f.tok, cfg)
+	want, err := EmbedLinesTape(f.mdl.Encoder, f.tok, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := engine.EmbedLines(lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("pass %d: element %d mismatch", pass, i)
+			}
+		}
+		if n := engine.CacheStats().EncodedEntries; n > 4 {
+			t.Fatalf("pass %d: encoded cache holds %d entries, cap 4", pass, n)
+		}
+	}
+}
+
+// TestEngineEstimatorLazyEncode runs the estimator-bucketed path (workers
+// encode lazily) against the tape path: outputs must stay byte-identical
+// across cache configurations and tight batch budgets.
+func TestEngineEstimatorLazyEncode(t *testing.T) {
+	f := getFixture(t)
+	lines := engineFixtureLines(f)
+	want, err := EmbedLinesTape(f.mdl.Encoder, f.tok, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := bpe.FitEstimator(f.tok, f.trainX)
+	if err != nil {
+		t.Fatalf("FitEstimator: %v", err)
+	}
+	f.tok.SetEstimator(est)
+	t.Cleanup(func() { f.tok.SetEstimator(nil) })
+	for _, cfg := range []EngineConfig{
+		{},
+		{CacheLines: -1, EncodedCacheLines: 32},
+		{CacheLines: -1, EncodedCacheLines: -1},
+		{BatchLines: 2, BatchTokens: 1, Workers: 3, CacheLines: 8},
+	} {
+		engine := NewEngine(f.mdl.Encoder, f.tok, cfg)
+		for pass := 0; pass < 2; pass++ {
+			got, err := engine.EmbedLines(lines)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("cfg %+v pass %d: element %d: engine %g, tape %g",
+						cfg, pass, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineEstimatorAdvisoryOnly is the invariant the whole estimator
+// design leans on: bucketing is the only consumer of the estimate, so even
+// a wildly wrong estimator — one that mis-buckets every line in either
+// direction — must leave every output byte identical.
+func TestEngineEstimatorAdvisoryOnly(t *testing.T) {
+	f := getFixture(t)
+	lines := engineFixtureLines(f)
+	want, err := EmbedLinesTape(f.mdl.Encoder, f.tok, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.tok.SetEstimator(nil) })
+	for name, bias := range map[string]float64{"always-huge": 1e6, "always-one": -1e6} {
+		bad := &bpe.Estimator{}
+		bad.Weights[0] = bias
+		f.tok.SetEstimator(bad)
+		// Tight budgets so mis-bucketing actually changes batch composition.
+		cfg := EngineConfig{BatchLines: 3, BatchTokens: 8, Workers: 4, CacheLines: -1, EncodedCacheLines: -1}
+		got, err := NewEngine(f.mdl.Encoder, f.tok, cfg).EmbedLines(lines)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%s: element %d: engine %g, tape %g — estimate leaked into scores",
+					name, i, got.Data[i], want.Data[i])
+			}
+		}
 	}
 }
 
