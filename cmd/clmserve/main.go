@@ -60,9 +60,7 @@
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -72,15 +70,17 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
 	"clmids/internal/commercial"
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/fleet"
 	"clmids/internal/modality"
 	"clmids/internal/model"
+	"clmids/internal/serve"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
 )
@@ -119,8 +119,19 @@ func run(args []string) error {
 	precision := fs.String("precision", "", "serve-path precision: float64 | float32 | int8 (with -bundle the manifest decides unless this overrides; applies at startup, reloads follow their bundle's manifest)")
 	cascade := fs.Bool("cascade", false, "serve the scoring cascade: rarity pre-filter -> int8 triage -> f64 confirm (with -bundle the bundle must carry a cascade section, see clmtrain -cascade; without, thresholds are calibrated from the baseline at startup); per-rung traffic shows in /stats")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this extra debug listener (e.g. 127.0.0.1:6060); scoring, liveness, and readiness stay on -addr")
+	drainTimeout := fs.Duration("drain-timeout", 0, "bound the SIGTERM/SIGINT drain: after this long a wedged shard is abandoned and the final checkpoint covers what drained (0 waits forever)")
+	router := fs.Bool("router", false, "run as a fleet router over -replicas instead of serving a scorer: consistent-hash user -> replica, health-probed ejection/readmission, retry/backoff/hedging, session failover, rolling /reload")
+	replicasFlag := fs.String("replicas", "", "comma-separated replica base URLs for -router mode (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "router health-probe period per replica")
+	requestTimeout := fs.Duration("request-timeout", 15*time.Second, "router per-request timeout for proxied score/export/import calls")
+	hedgeAfter := fs.Duration("hedge-after", 0, "router: hedge a stalled score request to the failover successor after this long (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *router {
+		// Router mode: no scorer, no baseline — just the fleet tier. The
+		// -bundle flag doubles as the default rolling-reload source.
+		return runRouter(*addr, *replicasFlag, *bundleDir, *batch, *probeInterval, *requestTimeout, *hedgeAfter)
 	}
 	if *shards <= 0 {
 		*shards = runtime.GOMAXPROCS(0)
@@ -174,12 +185,12 @@ func run(args []string) error {
 	// build/load below finishes, so restart supervisors see a live process
 	// and load balancers see a not-yet-ready replica instead of a black
 	// hole during the (potentially minutes-long) warm start.
-	d := newDaemon(*bundleDir, *cascade)
+	d := serve.NewDaemon(*bundleDir, *cascade)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	server := &http.Server{Handler: newHandler(d, *batch)}
+	server := &http.Server{Handler: serve.NewHandler(d, *batch)}
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "clmserve: listening on %s (not ready yet)\n", ln.Addr())
@@ -297,7 +308,7 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "clmserve: checkpoint %s unreadable (%v); starting fresh\n", *checkpoint, err)
 		}
 	}
-	d.attach(svc, served)
+	d.Attach(svc, served)
 
 	// Periodic idle-session sweep bounds memory across a large user
 	// population. It runs on the stream's high-water event time, not wall
@@ -327,7 +338,7 @@ func run(args []string) error {
 		defer ckptTick.Stop()
 		go func() {
 			for range ckptTick.C {
-				if err := writeCheckpointFile(svc, *checkpoint); err != nil {
+				if err := serve.WriteCheckpointFile(svc, *checkpoint); err != nil {
 					fmt.Fprintf(os.Stderr, "clmserve: checkpoint: %v\n", err)
 				}
 			}
@@ -347,7 +358,7 @@ func run(args []string) error {
 				// Hot-reload the active bundle directory (the -bundle flag,
 				// or the last successful /reload source); serving continues
 				// throughout, a failed reload keeps the old scorer.
-				if v, err := d.reload(""); err != nil {
+				if v, err := d.Reload(""); err != nil {
 					fmt.Fprintf(os.Stderr, "clmserve: SIGHUP reload failed: %v\n", err)
 				} else {
 					fmt.Fprintf(os.Stderr, "clmserve: SIGHUP reloaded bundle %s\n", v)
@@ -364,11 +375,17 @@ func run(args []string) error {
 				fmt.Fprintf(os.Stderr, "clmserve: forced shutdown: %v\n", err)
 				server.Close()
 			}
-			svc.Close() // drain queued requests through the detector
+			// Drain queued requests through the detector, bounded by
+			// -drain-timeout: a wedged shard must not hang shutdown forever.
+			// On expiry the abandoned shard's queue is lost, but everything
+			// that did drain is in the final checkpoint below.
+			if !svc.CloseTimeout(*drainTimeout) {
+				fmt.Fprintf(os.Stderr, "clmserve: drain exceeded %s; abandoning wedged shards and checkpointing what drained\n", *drainTimeout)
+			}
 			if *checkpoint != "" {
 				// Checkpoint after the drain: every accepted event is in the
 				// snapshot, so the next start resumes exactly here.
-				if err := writeCheckpointFile(svc, *checkpoint); err != nil {
+				if err := serve.WriteCheckpointFile(svc, *checkpoint); err != nil {
 					fmt.Fprintf(os.Stderr, "clmserve: final checkpoint: %v\n", err)
 				} else {
 					fmt.Fprintf(os.Stderr, "clmserve: checkpointed sessions to %s\n", *checkpoint)
@@ -380,27 +397,6 @@ func run(args []string) error {
 			return nil
 		}
 	}
-}
-
-// writeCheckpointFile snapshots the service's sessions to path atomically:
-// a full write to path+".tmp", then rename, so readers (and the next
-// startup) only ever see complete, checksum-valid snapshots.
-func writeCheckpointFile(svc *stream.Service, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := svc.SaveSessions(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 // buildScorerFromBaseline is the legacy warm start: load the pipeline and
@@ -460,265 +456,76 @@ func buildScorerFromBaseline(modelDir, baseline, method string, epochs int, seed
 	return casc, served, nil
 }
 
-// daemon is the handler-visible serving state: nil service until the
-// startup scorer build/load finishes, then the live service plus the
-// bundle directory reloads default to. The HTTP surface runs against it
-// from before readiness through hot-reloads.
-type daemon struct {
-	mu        sync.RWMutex
-	svc       *stream.Service
-	bundleDir string
-	modality  string // the served modality; reloads must match it
-	cascade   bool   // -cascade: reload bundles must carry a cascade section
-
-	reloadMu sync.Mutex // serializes /reload + SIGHUP loads
-}
-
-func newDaemon(bundleDir string, cascade bool) *daemon {
-	return &daemon{bundleDir: bundleDir, cascade: cascade}
-}
-
-// attach publishes the service and locks in the served modality; the daemon
-// is ready from this point, and every reload must carry the same modality.
-func (d *daemon) attach(svc *stream.Service, served string) {
-	d.mu.Lock()
-	d.svc = svc
-	d.modality = served
-	d.mu.Unlock()
-}
-
-// service returns the live service, or false while warming up.
-func (d *daemon) service() (*stream.Service, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.svc, d.svc != nil
-}
-
-// errNoBundle distinguishes "nothing to reload from" from load failures.
-var errNoBundle = errors.New("no bundle directory: started without -bundle; pass ?bundle=dir")
-
-// reload loads the bundle at dir (default: the active bundle directory)
-// and hot-swaps it into every shard, returning the new version. A
-// successful explicit reload rebinds the active directory, so SIGHUP and
-// parameterless reloads keep refreshing whatever is currently serving.
-// The expensive part — deserializing and replicating — happens before the
-// swap, so scoring pauses only for the pointer exchange.
-func (d *daemon) reload(dir string) (string, error) {
-	d.reloadMu.Lock()
-	defer d.reloadMu.Unlock()
-
-	svc, ok := d.service()
-	if !ok {
-		return "", errors.New("not ready yet")
+// runRouter is -router mode: no scorer, no baseline — the process becomes
+// the fleet tier (internal/fleet) over the given replicas, serving the
+// same NDJSON /score protocol with health-probed ejection/readmission,
+// retry/backoff/hedging, session failover, and rolling zero-drop /reload
+// (also on SIGHUP). bundleDir is the default rolling-reload source.
+func runRouter(addr, replicaList, bundleDir string, chunk int, probeInterval, requestTimeout, hedgeAfter time.Duration) error {
+	var addrs []string
+	for _, a := range strings.Split(replicaList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
 	}
-	d.mu.RLock()
-	if dir == "" {
-		dir = d.bundleDir
+	if len(addrs) == 0 {
+		return errors.New("-router requires -replicas=url1,url2,...")
 	}
-	d.mu.RUnlock()
-	if dir == "" {
-		return "", errNoBundle
-	}
-	lb, err := core.LoadScorerBundle(dir)
+	rt, err := fleet.New(fleet.Config{
+		Replicas:       addrs,
+		ProbeInterval:  probeInterval,
+		RequestTimeout: requestTimeout,
+		HedgeAfter:     hedgeAfter,
+		Chunk:          chunk,
+		BundleDir:      bundleDir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "clmserve: "+format+"\n", args...)
+		},
+	})
 	if err != nil {
-		return "", err
-	}
-	d.mu.RLock()
-	served := d.modality
-	d.mu.RUnlock()
-	// A bundle trained for another modality never swaps in: the reload is
-	// rejected with the typed mismatch error (HTTP 409) and the old scorer
-	// keeps serving untouched.
-	if err := lb.CheckModality(served); err != nil {
-		return "", err
-	}
-	next := lb.Scorer
-	if d.cascade {
-		// A cascade daemon stays a cascade across reloads: a bundle without
-		// the cascade section is rejected and the old scorer keeps serving.
-		if next, err = core.BuildCascade(lb.Scorer, lb.Cascade); err != nil {
-			return "", err
-		}
-	}
-	if err := svc.SwapScorer(next, lb.Manifest.Version); err != nil {
-		return "", err
-	}
-	d.mu.Lock()
-	d.bundleDir = dir
-	d.mu.Unlock()
-	return lb.Manifest.Version, nil
-}
-
-// newHandler wires the HTTP surface over the daemon state.
-func newHandler(d *daemon, chunk int) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST NDJSON events", http.StatusMethodNotAllowed)
-			return
-		}
-		svc, ok := d.service()
-		if !ok {
-			http.Error(w, "scorer loading, not ready", http.StatusServiceUnavailable)
-			return
-		}
-		handleScore(svc, chunk, w, r)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		svc, ok := d.service()
-		if !ok {
-			http.Error(w, "scorer loading, not ready", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(svc.Stats())
-	})
-	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST /reload?bundle=dir", http.StatusMethodNotAllowed)
-			return
-		}
-		version, err := d.reload(r.URL.Query().Get("bundle"))
-		if err != nil {
-			status := http.StatusInternalServerError
-			switch {
-			case errors.Is(err, errNoBundle):
-				status = http.StatusBadRequest
-			case errors.Is(err, core.ErrModalityMismatch):
-				// The bundle is fine, it just serves a different log type
-				// than this server: a conflict, not a server fault.
-				status = http.StatusConflict
-			}
-			http.Error(w, err.Error(), status)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]string{"version": version})
-	})
-	// Liveness: the process is up; 200 even while the scorer is still
-	// building or loading, so supervisors don't restart a warming replica.
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	// Readiness: route traffic here only once the scorer serves. A shard
-	// held below native precision by the degrade policy is still ready —
-	// degraded capacity beats no capacity — but the state is surfaced so
-	// operators and probes can see it.
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		svc, ok := d.service()
-		if !ok {
-			http.Error(w, "loading", http.StatusServiceUnavailable)
-			return
-		}
-		line := "ready"
-		if v := svc.ScorerVersion(); v != "" {
-			line += " " + v
-		}
-		if m := svc.Modality(); m != "" {
-			line += " modality=" + m
-		}
-		if n := svc.DegradedShards(); n > 0 {
-			line += fmt.Sprintf(" degraded=%d", n)
-		}
-		fmt.Fprintln(w, line)
-	})
-	return mux
-}
-
-// handleScore streams NDJSON events through the service in chunks,
-// writing NDJSON verdicts back as each chunk completes. Submitting chunk
-// by chunk (rather than slurping the body) keeps memory bounded and
-// propagates queue backpressure to the client through TCP. A malformed
-// line costs that line, not the connection: the stream carries a per-line
-// error record in its place and keeps scoring; one bad producer among the
-// fleet's log shippers must not sever everyone sharing the pipe. Overload
-// rejections (shed policy) map to 429 + Retry-After while the response is
-// still unstarted, in-band error records afterwards.
-func handleScore(svc *stream.Service, chunk int, w http.ResponseWriter, r *http.Request) {
-	if chunk <= 0 {
-		chunk = 512
-	}
-	// Verdicts stream back while the request body is still arriving; on
-	// HTTP/1 the server otherwise closes the read side at the first
-	// response write. (HTTP/2 is duplex already; the error is ignorable.)
-	_ = http.NewResponseController(w).EnableFullDuplex()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	out := bufio.NewWriter(w)
-	enc := json.NewEncoder(out)
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-
-	events := make([]stream.Event, 0, chunk)
-	lineNo, wrote := 0, false
-	flush := func() bool {
-		if len(events) == 0 {
-			return true
-		}
-		verdicts, err := svc.SubmitContext(r.Context(), events)
-		events = events[:0]
-		if err != nil {
-			if !wrote {
-				status := http.StatusServiceUnavailable
-				if errors.Is(err, stream.ErrOverloaded) {
-					status = http.StatusTooManyRequests
-					w.Header().Set("Retry-After", "1")
-				}
-				http.Error(w, err.Error(), status)
-				return false
-			}
-			// Headers are already out; surface the error in-band.
-			enc.Encode(map[string]string{"error": err.Error()})
-			out.Flush()
-			return false
-		}
-		for i := range verdicts {
-			enc.Encode(&verdicts[i])
-		}
-		out.Flush()
-		wrote = wrote || len(verdicts) > 0
-		return true
+		return err
 	}
 
-	for sc.Scan() {
-		lineNo++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
-		var ev stream.Event
-		if err := json.Unmarshal(raw, &ev); err != nil {
-			// Flush pending events first so the error record lands in input
-			// order, then keep going: the line is lost, the stream is not.
-			if !flush() {
-				return
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+
+	rt.Start()
+	defer rt.Stop()
+	fmt.Fprintf(os.Stderr, "clmserve: fleet router on %s over %d replicas\n", ln.Addr(), len(addrs))
+
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Rolling reload of the active bundle across the fleet, one
+				// replica out of rotation at a time.
+				go func() {
+					done, err := rt.RollingReload(context.Background(), "")
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "clmserve: SIGHUP rolling reload failed: %v (%d replicas reloaded)\n", err, len(done))
+						return
+					}
+					fmt.Fprintf(os.Stderr, "clmserve: SIGHUP rolling reload done (%d replicas)\n", len(done))
+				}()
+				continue
 			}
-			enc.Encode(map[string]any{
-				"error": fmt.Sprintf("line %d: %v", lineNo, err),
-				"line":  lineNo,
-			})
-			out.Flush()
-			wrote = true
-			continue
-		}
-		if ev.Time == 0 {
-			ev.Time = time.Now().Unix()
-		}
-		if ev.User == "" {
-			ev.User = "-"
-		}
-		events = append(events, ev)
-		if len(events) >= chunk {
-			if !flush() {
-				return
+			fmt.Fprintf(os.Stderr, "clmserve: %v: router shutting down\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := server.Shutdown(ctx); err != nil {
+				server.Close()
 			}
+			return nil
 		}
 	}
-	if err := sc.Err(); err != nil {
-		enc.Encode(map[string]string{"error": err.Error()})
-		out.Flush()
-		return
-	}
-	flush()
 }

@@ -11,6 +11,7 @@ import (
 
 	"clmids/internal/core"
 	"clmids/internal/corpus"
+	"clmids/internal/serve"
 	"clmids/internal/stream"
 )
 
@@ -26,9 +27,9 @@ type serveFixture struct {
 
 // ready wraps the fixture service in an attached daemon, the state the
 // handler serves against after startup completes.
-func (f *serveFixture) ready() *daemon {
-	d := newDaemon("", false)
-	d.attach(f.svc, "shell")
+func (f *serveFixture) ready() *serve.Daemon {
+	d := serve.NewDaemon("", false)
+	d.Attach(f.svc, "shell")
 	return d
 }
 
@@ -90,7 +91,7 @@ func getFixture(t *testing.T) *serveFixture {
 
 func TestScoreEndpointNDJSON(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.ready(), 32))
+	srv := httptest.NewServer(serve.NewHandler(f.ready(), 32))
 	defer srv.Close()
 
 	// Corpus JSONL records work verbatim as events (extra fields ignored).
@@ -136,7 +137,7 @@ func TestScoreEndpointNDJSON(t *testing.T) {
 // scoring: the well-formed lines before and after it all get verdicts.
 func TestScoreEndpointMalformedLineNumber(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.ready(), 32))
+	srv := httptest.NewServer(serve.NewHandler(f.ready(), 32))
 	defer srv.Close()
 
 	body := `{"user":"u","time":1,"line":"ls"}` + "\n" +
@@ -176,7 +177,7 @@ func TestScoreEndpointMalformedLineNumber(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.ready(), 32))
+	srv := httptest.NewServer(serve.NewHandler(f.ready(), 32))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/stats")
@@ -208,7 +209,7 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestScoreMethodNotAllowed(t *testing.T) {
 	f := getFixture(t)
-	srv := httptest.NewServer(newHandler(f.ready(), 32))
+	srv := httptest.NewServer(serve.NewHandler(f.ready(), 32))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/score")
 	if err != nil {
@@ -244,8 +245,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // balancers don't route to a cold replica; attach flips readiness.
 func TestReadinessSplit(t *testing.T) {
 	f := getFixture(t)
-	d := newDaemon("", false)
-	srv := httptest.NewServer(newHandler(d, 32))
+	d := serve.NewDaemon("", false)
+	srv := httptest.NewServer(serve.NewHandler(d, 32))
 	defer srv.Close()
 
 	get := func(path string) int {
@@ -275,7 +276,7 @@ func TestReadinessSplit(t *testing.T) {
 		t.Fatalf("cold /score %d, want 503", resp.StatusCode)
 	}
 
-	d.attach(f.svc, "shell")
+	d.Attach(f.svc, "shell")
 	if got := get("/readyz"); got != http.StatusOK {
 		t.Fatalf("ready /readyz %d, want 200", got)
 	}
@@ -290,7 +291,7 @@ func TestReadinessSplit(t *testing.T) {
 func TestReloadEndpoint(t *testing.T) {
 	f := getFixture(t)
 	d := f.ready()
-	srv := httptest.NewServer(newHandler(d, 32))
+	srv := httptest.NewServer(serve.NewHandler(d, 32))
 	defer srv.Close()
 
 	// No -bundle configured and no ?bundle param: a 400, not a crash.
@@ -372,7 +373,7 @@ func TestReloadEndpoint(t *testing.T) {
 func TestZZScoreAfterClose(t *testing.T) {
 	f := getFixture(t)
 	f.svc.Close()
-	srv := httptest.NewServer(newHandler(f.ready(), 32))
+	srv := httptest.NewServer(serve.NewHandler(f.ready(), 32))
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/score", "application/x-ndjson",
 		strings.NewReader(`{"user":"u","time":1,"line":"ls"}`+"\n"))

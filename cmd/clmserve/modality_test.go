@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"clmids/internal/core"
+	"clmids/internal/serve"
 	"clmids/internal/stream"
 )
 
@@ -22,10 +23,10 @@ func TestReloadModalityMismatch(t *testing.T) {
 	// tests own): the scorer replica shares the fixture's frozen weights.
 	svc := newModalityService(t, f)
 	defer svc.Close()
-	d := newDaemon("", false)
+	d := serve.NewDaemon("", false)
 	// The daemon serves flows; the fixture bundle below is shell.
-	d.attach(svc, "flows")
-	srv := httptest.NewServer(newHandler(d, 32))
+	d.Attach(svc, "flows")
+	srv := httptest.NewServer(serve.NewHandler(d, 32))
 	defer srv.Close()
 
 	dir := t.TempDir()
@@ -65,7 +66,7 @@ func TestReloadModalityMismatch(t *testing.T) {
 	}
 
 	// The daemon-level reload surfaces the typed error (SIGHUP path).
-	if _, err := d.reload(dir); !errors.Is(err, core.ErrModalityMismatch) {
+	if _, err := d.Reload(dir); !errors.Is(err, core.ErrModalityMismatch) {
 		t.Fatalf("daemon reload error %v, want ErrModalityMismatch", err)
 	}
 }
@@ -78,9 +79,9 @@ func TestModalitySurfaced(t *testing.T) {
 	svc := newModalityService(t, f)
 	defer svc.Close()
 	svc.SetModality("shell")
-	d := newDaemon("", false)
-	d.attach(svc, "shell")
-	srv := httptest.NewServer(newHandler(d, 32))
+	d := serve.NewDaemon("", false)
+	d.Attach(svc, "shell")
+	srv := httptest.NewServer(serve.NewHandler(d, 32))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/readyz")

@@ -8,6 +8,7 @@ import (
 
 	"clmids/internal/core"
 	"clmids/internal/model"
+	"clmids/internal/serve"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
 )
@@ -46,7 +47,7 @@ func TestPprofMuxIsolation(t *testing.T) {
 		t.Fatalf("debug mux /debug/pprof/ = %d, want 200", resp.StatusCode)
 	}
 
-	serving := httptest.NewServer(newHandler(newDaemon("", false), 32))
+	serving := httptest.NewServer(serve.NewHandler(serve.NewDaemon("", false), 32))
 	defer serving.Close()
 	resp, err = http.Get(serving.URL + "/debug/pprof/")
 	if err != nil {
@@ -84,9 +85,9 @@ func TestReloadSwapsPrecision(t *testing.T) {
 	}
 	svc := stream.NewShardedService(det, stream.ServiceConfig{QueueRequests: 8, BatchEvents: 64})
 	defer svc.Close()
-	d := newDaemon("", false)
-	d.attach(svc, "shell")
-	srv := httptest.NewServer(newHandler(d, 32))
+	d := serve.NewDaemon("", false)
+	d.Attach(svc, "shell")
+	srv := httptest.NewServer(serve.NewHandler(d, 32))
 	defer srv.Close()
 
 	dir := t.TempDir()

@@ -2,7 +2,7 @@ package main
 
 // Daemon-level resilience drills: damaged-artifact reloads under live
 // traffic, the checkpoint kill-and-restart drill through the same
-// writeCheckpointFile the daemon runs, and /readyz surfacing degraded
+// serve.WriteCheckpointFile the daemon runs, and /readyz surfacing degraded
 // shards. These ride the shared training fixture but build their own
 // services — the fixture's shared service is mutated by other tests.
 
@@ -22,6 +22,7 @@ import (
 
 	"clmids/internal/core"
 	"clmids/internal/faults"
+	"clmids/internal/serve"
 	"clmids/internal/stream"
 	"clmids/internal/tuning"
 )
@@ -56,9 +57,9 @@ func TestReloadDamagedBundleUnderLoad(t *testing.T) {
 	f := getFixture(t)
 	svc := fixtureService(t, f, stream.ServiceConfig{QueueRequests: 16, BatchEvents: 64}, nil)
 	defer svc.Close()
-	d := newDaemon("", false)
-	d.attach(svc, "shell")
-	srv := httptest.NewServer(newHandler(d, 32))
+	d := serve.NewDaemon("", false)
+	d.Attach(svc, "shell")
+	srv := httptest.NewServer(serve.NewHandler(d, 32))
 	defer srv.Close()
 
 	good := t.TempDir()
@@ -174,7 +175,7 @@ func TestReloadDamagedBundleUnderLoad(t *testing.T) {
 }
 
 // TestCheckpointKillRestartService is the kill-and-restart drill at the
-// daemon level: score traffic, checkpoint through writeCheckpointFile (the
+// daemon level: score traffic, checkpoint through serve.WriteCheckpointFile (the
 // daemon's own atomic snapshot path), tear the service down, restore a new
 // one from the file — and verify its subsequent verdicts match an
 // uninterrupted run byte for byte.
@@ -200,7 +201,7 @@ func TestCheckpointKillRestartService(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "sessions.ckpt")
-	if err := writeCheckpointFile(victim, path); err != nil {
+	if err := serve.WriteCheckpointFile(victim, path); err != nil {
 		t.Fatal(err)
 	}
 	victim.Close() // the "crash" (graceful here; the checkpoint already exists)
@@ -245,9 +246,9 @@ func TestReadyzReportsDegraded(t *testing.T) {
 	}
 	svc := fixtureService(t, f, scfg, gate.Wrap)
 	defer svc.Close()
-	d := newDaemon("", false)
-	d.attach(svc, "shell")
-	srv := httptest.NewServer(newHandler(d, 32))
+	d := serve.NewDaemon("", false)
+	d.Attach(svc, "shell")
+	srv := httptest.NewServer(serve.NewHandler(d, 32))
 	defer srv.Close()
 
 	readyz := func() (int, string) {

@@ -1,0 +1,82 @@
+package clmids
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clmids/internal/corpus"
+	"clmids/internal/fleet"
+	"clmids/internal/serve"
+	"clmids/internal/stream"
+	"clmids/internal/tuning"
+)
+
+// BenchmarkFleetRoutedThroughput measures the streaming stack one tier up
+// from BenchmarkStreamingThroughput: the same replayed corpus routed by the
+// fleet router over two in-process replicas — consistent-hash lookup, NDJSON
+// over loopback HTTP both ways, shadow-window bookkeeping — on top of the
+// warm-cache serving path. The gap to BenchmarkStreamingThroughput is the
+// price of the fleet tier; the CI gate holds it steady.
+func BenchmarkFleetRoutedThroughput(b *testing.B) {
+	_, _ = inferBenchFixture(b)
+	base := streamBenchScorer(b, 16384)
+	replicas, err := tuning.Replicas(base, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]string, len(replicas))
+	for i, sc := range replicas {
+		det := stream.NewDetector(sc, stream.DefaultConfig())
+		det.SetModality("shell")
+		svc := stream.NewService(det, stream.ServiceConfig{})
+		defer svc.Close()
+		d := serve.NewDaemon("", false)
+		d.Attach(svc, "shell")
+		srv := httptest.NewServer(serve.NewHandler(d, 256))
+		defer srv.Close()
+		addrs[i] = srv.URL
+	}
+	rt, err := fleet.New(fleet.Config{
+		Replicas:      addrs,
+		ProbeInterval: 100 * time.Millisecond,
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+	for deadline := time.Now().Add(10 * time.Second); !rt.Ready(); {
+		if time.Now().After(deadline) {
+			b.Fatal("fleet never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rep := corpus.NewReplayer(inferBenchDS, true)
+	submit := func() {
+		samples := rep.NextBatch(inferBenchWindow)
+		events := make([]stream.Event, len(samples))
+		for i, s := range samples {
+			events[i] = stream.Event{User: s.User, Time: s.Time, Line: s.Line}
+		}
+		if _, err := rt.Route(context.Background(), events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// One full pass warms both replicas' caches (the ring pins each user to
+	// one replica, so a pass converges every cache it will ever hit).
+	windows := len(inferBenchDS.Samples) / inferBenchWindow
+	for i := 0; i < windows; i++ {
+		submit()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inferBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}

@@ -1,0 +1,412 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clmids/internal/faults"
+	"clmids/internal/stream"
+)
+
+// A healthy fleet must be a transparent proxy: verdicts through the
+// router's HTTP surface are byte-identical to a single-node run over the
+// same events.
+func TestFleetMatchesSingleNode(t *testing.T) {
+	reps := []*testReplica{newTestReplica(t), newTestReplica(t), newTestReplica(t)}
+	rt := newTestRouter(t, nil, reps...)
+	waitHealthy(t, rt, 3)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	ref := newTestService(t)
+	defer ref.Close()
+
+	events := chainEvents(12, 8)
+	var fleetVerdicts, refVerdicts []stream.Verdict
+	for _, chunk := range chunked(events, 25) {
+		fleetVerdicts = append(fleetVerdicts, scoreHTTP(t, front.URL, chunk)...)
+		rv, err := ref.Submit(chunk)
+		if err != nil {
+			t.Fatalf("reference submit: %v", err)
+		}
+		refVerdicts = append(refVerdicts, rv...)
+	}
+	if len(fleetVerdicts) != len(events) {
+		t.Fatalf("fleet returned %d verdicts for %d events", len(fleetVerdicts), len(events))
+	}
+	if got, want := verdictJSON(t, fleetVerdicts), verdictJSON(t, refVerdicts); got != want {
+		t.Fatalf("fleet verdicts diverge from single node:\nfleet: %.400s\nref:   %.400s", got, want)
+	}
+	// Sanity: the traffic actually spread over multiple replicas.
+	spread := 0
+	for _, rep := range reps {
+		if rep.svc.Stats().Events > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("only %d replicas saw traffic — ring not spreading", spread)
+	}
+}
+
+// The failover drill from the issue: an attack chain whose step-1 lands on
+// replica A and step-2 lands on replica B after A is killed must trip the
+// same session alarm as a single-node run, with zero event loss.
+func TestFleetFailoverPreservesAttackChain(t *testing.T) {
+	reps := []*testReplica{newTestReplica(t), newTestReplica(t)}
+	rt := newTestRouter(t, nil, reps...)
+	waitHealthy(t, rt, 2)
+
+	ref := newTestService(t)
+	defer ref.Close()
+
+	events := chainEvents(8, 6)
+	chunks := chunked(events, 30)
+	killAt := len(chunks) / 2
+
+	var fleetVerdicts, refVerdicts []stream.Verdict
+	for i, chunk := range chunks {
+		if i == killAt {
+			// Kill whichever replica currently owns the attack user so the
+			// chain is guaranteed to straddle the failover.
+			rt.mu.Lock()
+			owner := rt.ring.Lookup("mallory")
+			rt.mu.Unlock()
+			for _, rep := range reps {
+				if rep.srv.URL == owner {
+					rep.kill()
+				}
+			}
+		}
+		vs, err := rt.Route(context.Background(), chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		fleetVerdicts = append(fleetVerdicts, vs...)
+		rv, err := ref.Submit(chunk)
+		if err != nil {
+			t.Fatalf("reference submit: %v", err)
+		}
+		refVerdicts = append(refVerdicts, rv...)
+	}
+
+	if len(fleetVerdicts) != len(events) {
+		t.Fatalf("lost events across failover: %d verdicts for %d events", len(fleetVerdicts), len(events))
+	}
+	if got, want := verdictJSON(t, fleetVerdicts), verdictJSON(t, refVerdicts); got != want {
+		t.Fatalf("post-failover verdicts diverge from single node")
+	}
+	alarms := 0
+	for _, v := range fleetVerdicts {
+		if v.User == "mallory" && v.SessionAlert {
+			alarms++
+		}
+	}
+	if alarms == 0 {
+		t.Fatal("attack chain tripped no session alarm across the failover")
+	}
+	st := rt.Stats()
+	if st.Failovers == 0 {
+		t.Fatalf("expected at least one failover, stats: %+v", st)
+	}
+}
+
+// Probe-driven ejection and readmission: a replica that stops answering
+// probes leaves the ring after EjectAfter failures and rejoins after
+// ReadmitAfter successes — with its config re-verified on the way back in.
+func TestEjectionReadmissionStateMachine(t *testing.T) {
+	reps := []*testReplica{newTestReplica(t), newTestReplica(t)}
+	rt := newTestRouter(t, nil, reps...)
+	waitHealthy(t, rt, 2)
+
+	reps[1].kill()
+	waitHealthy(t, rt, 1)
+	st := rt.Stats()
+	var dead ReplicaStatus
+	for _, r := range st.Replicas {
+		if r.Addr == reps[1].srv.URL {
+			dead = r
+		}
+	}
+	if dead.Ready || dead.Ejections == 0 {
+		t.Fatalf("killed replica not ejected: %+v", dead)
+	}
+
+	reps[1].revive()
+	waitHealthy(t, rt, 2)
+	st = rt.Stats()
+	for _, r := range st.Replicas {
+		if r.Addr == reps[1].srv.URL {
+			if !r.Ready || r.Readmissions == 0 || !r.ConfigVerified {
+				t.Fatalf("revived replica not readmitted with verified config: %+v", r)
+			}
+		}
+	}
+}
+
+// A replica whose session config disagrees with the fleet's must be held
+// out of rotation: shadow windows and migrated checkpoints would silently
+// mis-score there.
+func TestConfigMismatchHeldOut(t *testing.T) {
+	good := newTestReplica(t)
+	divergent := newDivergentReplica(t)
+	rt := newTestRouter(t, nil, good, divergent)
+	waitHealthy(t, rt, 1)
+
+	st := rt.Stats()
+	for _, r := range st.Replicas {
+		if r.Addr == divergent.srv.URL && (r.Ready || r.ConfigVerified) {
+			t.Fatalf("config-mismatched replica admitted to rotation: %+v", r)
+		}
+	}
+	// Traffic still flows through the good replica.
+	vs, err := rt.Route(context.Background(), chainEvents(4, 2))
+	if err != nil || len(vs) == 0 {
+		t.Fatalf("fleet with one good replica failed to score: %v", err)
+	}
+}
+
+// stubScore is a scripted /score backend for retry-path tests: behavior
+// keyed off the request ordinal.
+type stubReplica struct {
+	srv    *httptest.Server
+	scores atomic.Int64
+	// behave decides request n's fate; return true to fall through to the
+	// default echo (one verdict per event).
+	behave func(n int64, w http.ResponseWriter, r *http.Request) bool
+}
+
+func newStubReplica(t *testing.T, behave func(n int64, w http.ResponseWriter, r *http.Request) bool) *stubReplica {
+	t.Helper()
+	s := &stubReplica{behave: behave}
+	cfg := testSessionConfig()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ready") })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"config": cfg, "modality": "shell"})
+	})
+	mux.HandleFunc("/sessions/import", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int{"imported": 0})
+	})
+	mux.HandleFunc("/sessions/export", func(w http.ResponseWriter, r *http.Request) {
+		stream.WriteSessionsCheckpoint(w, cfg, "shell", nil, 0)
+	})
+	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
+		n := s.scores.Add(1)
+		if s.behave != nil && !s.behave(n, w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var ev stream.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				continue
+			}
+			enc.Encode(stream.Verdict{User: ev.User, Time: ev.Time, Line: ev.Line})
+		}
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// 429 + Retry-After must back off and retry the same replica — shed is
+// pre-ingestion, so the retry is safe and sheds must not trigger failover.
+func TestOverloadRetriesSameReplica(t *testing.T) {
+	stub := newStubReplica(t, func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return false
+		}
+		return true
+	})
+	rt := newTestRouter(t, nil, &testReplica{srv: stub.srv})
+	waitHealthy(t, rt, 1)
+
+	evs := []stream.Event{{User: "u", Time: 1, Line: "x"}}
+	vs, err := rt.Route(context.Background(), evs)
+	if err != nil {
+		t.Fatalf("Route after sheds: %v", err)
+	}
+	if len(vs) != 1 || stub.scores.Load() != 3 {
+		t.Fatalf("want success on 3rd attempt, got %d verdicts after %d attempts", len(vs), stub.scores.Load())
+	}
+	if st := rt.Stats(); st.Retries != 2 || st.Failovers != 0 {
+		t.Fatalf("want 2 retries and no failover, stats: %+v", st)
+	}
+}
+
+// Persistent overload surfaces as ErrOverloaded (the router's 429), not as
+// a failover that would dump the load on a neighbor.
+func TestPersistentOverloadSurfacesAsShed(t *testing.T) {
+	stub := newStubReplica(t, func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "shed", http.StatusTooManyRequests)
+		return false
+	})
+	rt := newTestRouter(t, nil, &testReplica{srv: stub.srv})
+	waitHealthy(t, rt, 1)
+
+	_, err := rt.Route(context.Background(), []stream.Event{{User: "u", Time: 1, Line: "x"}})
+	if !IsOverloaded(err) {
+		t.Fatalf("want ErrOverloaded through the router, got %v", err)
+	}
+}
+
+// A response torn mid-stream commits the prefix and fails the suffix over:
+// the router must return one verdict per event with no duplicates, and the
+// torn replica must be ejected.
+func TestTornResponseFailsOverSuffix(t *testing.T) {
+	var torn *stubReplica
+	torn = newStubReplica(t, func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		// Answer the first event, then sever.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sc := bufio.NewScanner(r.Body)
+		enc := json.NewEncoder(w)
+		wrote := 0
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var ev stream.Event
+			json.Unmarshal(sc.Bytes(), &ev)
+			if wrote == 1 {
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+				panic(http.ErrAbortHandler)
+			}
+			enc.Encode(stream.Verdict{User: ev.User, Time: ev.Time, Line: ev.Line})
+			wrote++
+		}
+		return false
+	})
+	healthy := newStubReplica(t, nil)
+	rt := newTestRouter(t, nil, &testReplica{srv: torn.srv}, &testReplica{srv: healthy.srv})
+	waitHealthy(t, rt, 2)
+
+	// All events for users owned by the torn replica, so the torn path is
+	// deterministic: find users the ring assigns to it.
+	ring := BuildRing([]string{torn.srv.URL, healthy.srv.URL}, 0)
+	var evs []stream.Event
+	for i := 0; len(evs) < 4 && i < 10000; i++ {
+		u := fmt.Sprintf("torn-user-%d", i)
+		if ring.Lookup(u) == torn.srv.URL {
+			evs = append(evs, stream.Event{User: u, Time: int64(100 + i), Line: "y"})
+		}
+	}
+	vs, err := rt.Route(context.Background(), evs)
+	if err != nil {
+		t.Fatalf("Route across torn response: %v", err)
+	}
+	if len(vs) != len(evs) {
+		t.Fatalf("want %d verdicts, got %d", len(evs), len(vs))
+	}
+	seen := map[string]int{}
+	for _, v := range vs {
+		seen[v.User]++
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Fatalf("user %s got %d verdicts — duplicate or loss across torn failover", u, n)
+		}
+	}
+	st := rt.Stats()
+	for _, r := range st.Replicas {
+		if strings.HasPrefix(r.Addr, torn.srv.URL) && r.Ready {
+			t.Fatalf("torn replica still in rotation: %+v", r)
+		}
+	}
+}
+
+// Hedging: when the primary stalls past HedgeAfter, the request races a
+// speculative copy on the failover successor and the fleet answers at
+// hedge speed instead of timeout speed.
+func TestHedgedRequestWinsOverStalledPrimary(t *testing.T) {
+	slow := newTestReplica(t)
+	fast := newTestReplica(t)
+	rt := newTestRouter(t, func(c *Config) {
+		c.HedgeAfter = 50 * time.Millisecond
+		c.RequestTimeout = 10 * time.Second
+	}, slow, fast)
+	waitHealthy(t, rt, 2)
+
+	// Find a user owned by the slow replica.
+	ring := BuildRing([]string{slow.srv.URL, fast.srv.URL}, 0)
+	user := ""
+	for i := 0; i < 10000; i++ {
+		u := fmt.Sprintf("hedge-user-%d", i)
+		if ring.Lookup(u) == slow.srv.URL {
+			user = u
+			break
+		}
+	}
+	// Stall the slow replica's data path only: probes keep passing, so
+	// only hedging (not ejection) can save the request's latency.
+	slow.fault.SpareProbes(true)
+	slow.fault.SetHold(5 * time.Second)
+	slow.fault.Set(faults.ReplicaBlackhole)
+
+	start := time.Now()
+	vs, err := rt.Route(context.Background(), []stream.Event{{User: user, Time: 1, Line: "z"}})
+	if err != nil {
+		t.Fatalf("hedged route: %v", err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("want 1 verdict, got %d", len(vs))
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("hedge did not rescue latency: took %v", elapsed)
+	}
+	if st := rt.Stats(); st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("expected a hedge win, stats: %+v", st)
+	}
+}
+
+// The router's own surface: /readyz tracks replica health, /stats carries
+// fleet counters, and /score 503s when no replica is in rotation.
+func TestRouterSurfaceLifecycle(t *testing.T) {
+	rep := newTestReplica(t)
+	rt := newTestRouter(t, nil, rep)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	waitHealthy(t, rt, 1)
+
+	resp, err := http.Get(front.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with healthy fleet: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	rep.kill()
+	waitHealthy(t, rt, 0)
+	resp, err = http.Get(front.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with dead fleet: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	r2, err := http.Post(front.URL+"/score", "application/x-ndjson", strings.NewReader(`{"user":"u","time":1,"line":"x"}`+"\n"))
+	if err != nil {
+		t.Fatalf("score with dead fleet: %v", err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("score with dead fleet: want 503, got %d", r2.StatusCode)
+	}
+}

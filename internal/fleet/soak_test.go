@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"clmids/internal/stream"
+)
+
+// TestFleetChaosSoak is the issue's headline drill: a three-replica fleet
+// under a seeded crash/revive/blackhole schedule must lose zero events and
+// return verdicts byte-identical to a single node scoring the same stream —
+// session windows riding failovers via shadow checkpoints, attack chains
+// tripping the same alarms.
+func TestFleetChaosSoak(t *testing.T) {
+	reps := []*testReplica{newTestReplica(t), newTestReplica(t), newTestReplica(t)}
+	rt := newTestRouter(t, nil, reps...)
+	waitHealthy(t, rt, 3)
+
+	ref := newTestService(t)
+	defer ref.Close()
+
+	events := chainEvents(16, 18)
+	chunks := chunked(events, 12)
+
+	// The fault schedule, keyed by chunk index. At least one replica stays
+	// in rotation at every point; a revival waits for probe-driven
+	// readmission (the operator's view: bring the node back, watch it
+	// rejoin) so the next kill never races the fleet down to zero.
+	schedule := map[int]func(){
+		3:  func() { reps[1].kill() },
+		8:  func() { reps[1].revive(); waitHealthy(t, rt, 3) },
+		11: func() { reps[2].kill() },
+		15: func() { reps[2].revive(); waitHealthy(t, rt, 3) },
+		18: func() { reps[0].kill() },
+		22: func() { reps[0].revive(); waitHealthy(t, rt, 3) },
+	}
+
+	var fleetVerdicts, refVerdicts []stream.Verdict
+	for i, chunk := range chunks {
+		if f, ok := schedule[i]; ok {
+			f()
+		}
+		vs, err := rt.Route(context.Background(), chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if len(vs) != len(chunk) {
+			t.Fatalf("chunk %d: lost events (%d verdicts for %d events)", i, len(vs), len(chunk))
+		}
+		fleetVerdicts = append(fleetVerdicts, vs...)
+		rv, err := ref.Submit(chunk)
+		if err != nil {
+			t.Fatalf("reference chunk %d: %v", i, err)
+		}
+		refVerdicts = append(refVerdicts, rv...)
+	}
+
+	if len(fleetVerdicts) != len(events) {
+		t.Fatalf("soak lost events: %d verdicts for %d events", len(fleetVerdicts), len(events))
+	}
+	if got, want := verdictJSON(t, fleetVerdicts), verdictJSON(t, refVerdicts); got != want {
+		// Find the first divergence for a useful failure message.
+		for i := range fleetVerdicts {
+			fj := verdictJSON(t, fleetVerdicts[i:i+1])
+			rj := verdictJSON(t, refVerdicts[i:i+1])
+			if fj != rj {
+				t.Fatalf("verdict %d diverges under chaos:\nfleet: %sref:   %s", i, fj, rj)
+			}
+		}
+		t.Fatal("verdicts diverge under chaos")
+	}
+	fleetAlarms, refAlarms := 0, 0
+	for i := range fleetVerdicts {
+		if fleetVerdicts[i].User == "mallory" && fleetVerdicts[i].SessionAlert {
+			fleetAlarms++
+		}
+		if refVerdicts[i].User == "mallory" && refVerdicts[i].SessionAlert {
+			refAlarms++
+		}
+	}
+	if fleetAlarms == 0 || fleetAlarms != refAlarms {
+		t.Fatalf("attack-chain alarms diverge: fleet %d, single node %d", fleetAlarms, refAlarms)
+	}
+	st := rt.Stats()
+	if st.Failovers == 0 {
+		t.Fatalf("chaos schedule produced no failovers — drill did not bite (stats: %+v)", st)
+	}
+	t.Logf("soak: %d events, %d failovers, %d retries, %d imports, alarms=%d",
+		len(events), st.Failovers, st.Retries, st.Imports, fleetAlarms)
+}
+
+// TestFleetRollingReloadChaos drives continuous traffic through a
+// two-replica fleet while RollingReload cycles both replicas (each with an
+// unready window after its reload): zero event loss, byte-identical
+// verdicts, both replicas reloaded, never more than one out of rotation.
+func TestFleetRollingReloadChaos(t *testing.T) {
+	reps := []*testReplica{newTestReplica(t), newTestReplica(t)}
+	for _, r := range reps {
+		r.unreadyWindow = 100 * time.Millisecond
+	}
+	rt := newTestRouter(t, nil, reps...)
+	waitHealthy(t, rt, 2)
+
+	ref := newTestService(t)
+	defer ref.Close()
+
+	// Watch the one-out-at-a-time invariant from the side while traffic
+	// and the reload run.
+	var watchWG sync.WaitGroup
+	watchStop := make(chan struct{})
+	invariantBroken := make(chan string, 1)
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if st := rt.Stats(); st.HealthyReplicas < len(reps)-1 {
+				select {
+				case invariantBroken <- "more than one replica out of rotation during rolling reload":
+				default:
+				}
+			}
+		}
+	}()
+
+	reloadDone := make(chan error, 1)
+	var reloaded []ReplicaReload
+	go func() {
+		// Let a little traffic land first so sessions exist to migrate.
+		time.Sleep(20 * time.Millisecond)
+		var err error
+		reloaded, err = rt.RollingReload(context.Background(), "next")
+		reloadDone <- err
+	}()
+
+	events := chainEvents(10, 16)
+	var fleetVerdicts, refVerdicts []stream.Verdict
+	for i, chunk := range chunked(events, 10) {
+		vs, err := rt.Route(context.Background(), chunk)
+		if err != nil {
+			t.Fatalf("chunk %d during rolling reload: %v", i, err)
+		}
+		fleetVerdicts = append(fleetVerdicts, vs...)
+		rv, err := ref.Submit(chunk)
+		if err != nil {
+			t.Fatalf("reference chunk %d: %v", i, err)
+		}
+		refVerdicts = append(refVerdicts, rv...)
+	}
+	if err := <-reloadDone; err != nil {
+		t.Fatalf("rolling reload: %v", err)
+	}
+	close(watchStop)
+	watchWG.Wait()
+	select {
+	case msg := <-invariantBroken:
+		t.Fatal(msg)
+	default:
+	}
+
+	if len(fleetVerdicts) != len(events) {
+		t.Fatalf("lost events during rolling reload: %d verdicts for %d events", len(fleetVerdicts), len(events))
+	}
+	if got, want := verdictJSON(t, fleetVerdicts), verdictJSON(t, refVerdicts); got != want {
+		t.Fatal("verdicts diverge across a rolling reload")
+	}
+	if len(reloaded) != len(reps) {
+		t.Fatalf("rolling reload covered %d of %d replicas: %+v", len(reloaded), len(reps), reloaded)
+	}
+	for _, rr := range reloaded {
+		if rr.Version != "v-next" {
+			t.Fatalf("replica %s reloaded to %q, want v-next", rr.Addr, rr.Version)
+		}
+	}
+	for i, rep := range reps {
+		select {
+		case v := <-rep.reloads:
+			if v != "v-next" {
+				t.Fatalf("replica %d saw reload %q", i, v)
+			}
+		default:
+			t.Fatalf("replica %d never saw the reload", i)
+		}
+	}
+	waitHealthy(t, rt, 2)
+}

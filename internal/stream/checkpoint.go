@@ -1,19 +1,23 @@
 package stream
 
-// Crash-safe session checkpoints. A restarted detector loses every per-user
-// sliding window — and with them exactly the multi-line attack chains the
-// session aggregator exists to catch. SaveSessions serializes the session
-// state deterministically; RestoreSessions rebuilds it, so a restart (or a
-// fleet handoff) resumes mid-chain sessions and trips the same alarms an
-// uninterrupted run would.
+// Crash-safe session checkpoints and per-user session handoff. A restarted
+// detector loses every per-user sliding window — and with them exactly the
+// multi-line attack chains the session aggregator exists to catch.
+// SaveSessions serializes the session state deterministically;
+// RestoreSessions rebuilds it, so a restart (or a fleet handoff) resumes
+// mid-chain sessions and trips the same alarms an uninterrupted run would.
+// ExportSessions/ImportSessions are the per-user refinement the fleet
+// router builds on: export a chosen subset of users (a replica being
+// drained, the users rehashed away by a ring change), import them into
+// another replica without touching anyone else's window.
 //
 // The format mirrors the PR 4 bundle discipline: a self-describing header
 // carrying a format string and a sha256 of the payload, verified before any
 // decoding, so a torn or tampered checkpoint fails with a named checksum
 // error instead of a decoder panic. Sessions are stored per user (sorted),
 // not per shard: restoring re-routes each user through the shard hash, so a
-// checkpoint taken at N shards restores into M shards — the Save/Restore
-// groundwork a multi-node fleet's session handoff builds on.
+// checkpoint taken at N shards restores into M shards — and an export taken
+// on one replica imports into any other, whatever its shard count.
 
 import (
 	"bufio"
@@ -37,19 +41,38 @@ const CheckpointFormat = "clmids-sessions v1"
 // configuration errors with errors.Is.
 var ErrCheckpointCorrupt = errors.New("stream: checkpoint corrupt")
 
-// entryRecord is one persisted window line (context score included, so a
-// restored session aggregate resumes exactly where it left off).
-type entryRecord struct {
-	Time  int64
-	Line  string
+// ErrCheckpointIncompatible flags a structurally valid checkpoint that must
+// not be restored here: its session semantics (windowing, context,
+// aggregation) or its log modality differ from the receiving detector's,
+// so replaying it would silently mis-score. Callers branch with errors.Is —
+// the HTTP import surface maps it to 409 Conflict, startup logs it and
+// starts fresh.
+var ErrCheckpointIncompatible = errors.New("stream: checkpoint incompatible")
+
+// WindowEntry is one persisted window line (context score included, so a
+// restored session aggregate resumes exactly where it left off). Exported
+// so the fleet router can rebuild a dead replica's windows from the verdict
+// stream it has already seen (Verdict carries Time, Line, ContextScore).
+type WindowEntry struct {
+	// Time is the event time of the line, in Unix seconds.
+	Time int64
+	// Line is the raw command line.
+	Line string
+	// Score is the committed context score of the line — what entered the
+	// session aggregate.
 	Score float64
 }
 
-// sessionRecord is one user's persisted sliding window.
-type sessionRecord struct {
-	User    string
-	Last    int64
-	Entries []entryRecord
+// SessionWindow is one user's persisted sliding window.
+type SessionWindow struct {
+	// User keys the session.
+	User string
+	// Last is the time of the user's most recent event.
+	Last int64
+	// Entries is the retained window, oldest first. An imported
+	// SessionWindow with no entries removes the user's session — the
+	// clear-on-handoff case.
+	Entries []WindowEntry
 }
 
 // checkpointHeader is the JSON first line of a checkpoint stream.
@@ -64,6 +87,11 @@ type checkpointHeader struct {
 	// rejects a detector whose session semantics differ (a window replayed
 	// under different sessionization would silently change verdicts).
 	Config Config `json:"config"`
+	// Modality names the log modality the saving detector served; restore
+	// rejects a detector stamped with a different one (a PowerShell window
+	// replayed into a flows detector would context-join garbage). Empty on
+	// either side skips the check (pre-modality checkpoints stay loadable).
+	Modality string `json:"modality,omitempty"`
 	// Stats carries the aggregate counters so /stats survives a restart.
 	Stats Stats `json:"stats"`
 	// PayloadSHA256 is the hex sha256 of the gob payload that follows.
@@ -74,7 +102,7 @@ type checkpointHeader struct {
 // checksummed payload. Determinism: same sessions, same bytes — gob over
 // sorted slices has no map-order dependence, so checkpoint diffs mean state
 // diffs.
-func writeCheckpoint(w io.Writer, cfg Config, recs []sessionRecord, hw int64, st Stats) error {
+func writeCheckpoint(w io.Writer, cfg Config, modality string, recs []SessionWindow, hw int64, st Stats) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(recs); err != nil {
 		return fmt.Errorf("stream: encoding checkpoint payload: %w", err)
@@ -86,6 +114,7 @@ func writeCheckpoint(w io.Writer, cfg Config, recs []sessionRecord, hw int64, st
 		Users:         len(recs),
 		HighWater:     hw,
 		Config:        cfg,
+		Modality:      modality,
 		Stats:         st,
 		PayloadSHA256: hex.EncodeToString(sum[:]),
 	})
@@ -101,10 +130,23 @@ func writeCheckpoint(w io.Writer, cfg Config, recs []sessionRecord, hw int64, st
 	return nil
 }
 
+// WriteSessionsCheckpoint writes windows (any order; sorted here) as a
+// checkpoint stream that RestoreSessions and ImportSessions accept. This is
+// the fleet router's session-failover escape hatch: when a replica dies
+// without exporting, the router — which saw every committed verdict —
+// reconstructs the affected users' windows from those verdicts and imports
+// them into the failover replica. cfg must be the serving session config
+// and modality the served modality, or the import is rejected.
+func WriteSessionsCheckpoint(w io.Writer, cfg Config, modality string, windows []SessionWindow, highWater int64) error {
+	recs := append([]SessionWindow(nil), windows...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
+	return writeCheckpoint(w, cfg.withDefaults(), modality, recs, highWater, Stats{})
+}
+
 // readCheckpoint parses and verifies a checkpoint stream: format first,
 // then the payload checksum, and only then the decode — a torn write never
 // reaches gob.
-func readCheckpoint(r io.Reader) (checkpointHeader, []sessionRecord, error) {
+func readCheckpoint(r io.Reader) (checkpointHeader, []SessionWindow, error) {
 	var hdr checkpointHeader
 	br := bufio.NewReader(r)
 	line, err := br.ReadBytes('\n')
@@ -127,7 +169,7 @@ func readCheckpoint(r io.Reader) (checkpointHeader, []sessionRecord, error) {
 		return hdr, nil, fmt.Errorf("%w: payload checksum mismatch (header %.12s, payload %.12s)",
 			ErrCheckpointCorrupt, hdr.PayloadSHA256, got)
 	}
-	var recs []sessionRecord
+	var recs []SessionWindow
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&recs); err != nil {
 		return hdr, nil, fmt.Errorf("%w: decoding payload: %v", ErrCheckpointCorrupt, err)
 	}
@@ -141,7 +183,8 @@ func readCheckpoint(r io.Reader) (checkpointHeader, []sessionRecord, error) {
 // sessionsCompatible reports whether two resolved configs agree on every
 // field that shapes session state and its interpretation — windowing,
 // context building, and aggregation. Alert thresholds may differ between
-// runs (retuning thresholds across a restart is normal operations).
+// runs (retuning thresholds across a restart is normal operations). A
+// mismatch is ErrCheckpointIncompatible.
 func sessionsCompatible(a, b Config) error {
 	type key struct {
 		cw  int
@@ -154,19 +197,39 @@ func sessionsCompatible(a, b Config) error {
 	ka := key{a.ContextWindow, a.ContextGap, a.IdleTimeout, a.MaxSessionLines, a.Aggregation, a.Decay}
 	kb := key{b.ContextWindow, b.ContextGap, b.IdleTimeout, b.MaxSessionLines, b.Aggregation, b.Decay}
 	if ka != kb {
-		return fmt.Errorf("stream: checkpoint session config %+v incompatible with detector %+v", ka, kb)
+		return fmt.Errorf("%w: checkpoint session config %+v vs detector %+v",
+			ErrCheckpointIncompatible, ka, kb)
+	}
+	return nil
+}
+
+// checkCompat verifies a checkpoint header against the receiving detector's
+// session config and stamped modality — the gate both Restore and Import
+// pass through, so no path silently mis-scores a window saved under
+// different semantics or for a different log type.
+func checkCompat(hdr checkpointHeader, cfg Config, modality string) error {
+	if err := sessionsCompatible(hdr.Config.withDefaults(), cfg); err != nil {
+		return err
+	}
+	if hdr.Modality != "" && modality != "" && hdr.Modality != modality {
+		return fmt.Errorf("%w: checkpoint modality %q vs detector %q",
+			ErrCheckpointIncompatible, hdr.Modality, modality)
 	}
 	return nil
 }
 
 // sessionRecords snapshots the detector's live sessions, sorted by user.
-func (d *Detector) sessionRecords() []sessionRecord {
+// users non-nil filters to that set (the export path).
+func (d *Detector) sessionRecords(users map[string]bool) []SessionWindow {
 	d.mu.Lock()
-	recs := make([]sessionRecord, 0, len(d.sessions))
+	recs := make([]SessionWindow, 0, len(d.sessions))
 	for user, sess := range d.sessions {
-		r := sessionRecord{User: user, Last: sess.last, Entries: make([]entryRecord, len(sess.entries))}
+		if users != nil && !users[user] {
+			continue
+		}
+		r := SessionWindow{User: user, Last: sess.last, Entries: make([]WindowEntry, len(sess.entries))}
 		for i, e := range sess.entries {
-			r.Entries[i] = entryRecord{Time: e.time, Line: e.line, Score: e.score}
+			r.Entries[i] = WindowEntry{Time: e.time, Line: e.line, Score: e.score}
 		}
 		recs = append(recs, r)
 	}
@@ -179,19 +242,12 @@ func (d *Detector) sessionRecords() []sessionRecord {
 // the checkpointed counters into stats (st nil skips counters — the
 // sharded restore folds the aggregate into one shard). It takes the
 // pipeline mutex, so a concurrent Process never sees a half-installed map.
-func (d *Detector) installRecords(recs []sessionRecord, hw int64, st *Stats) {
+func (d *Detector) installRecords(recs []SessionWindow, hw int64, st *Stats) {
 	sessions := make(map[string]*session, len(recs))
 	for _, r := range recs {
-		sess := &session{last: r.Last, entries: make([]entry, len(r.Entries))}
-		for i, e := range r.Entries {
-			sess.entries[i] = entry{time: e.Time, line: e.Line, score: e.Score}
+		if sess := d.recordSession(r); sess != nil {
+			sessions[r.User] = sess
 		}
-		// A checkpoint from a same-config detector never exceeds the cap,
-		// but trim defensively: the invariant belongs to this process.
-		if over := len(sess.entries) - d.cfg.MaxSessionLines; over > 0 {
-			sess.entries = sess.entries[over:]
-		}
-		sessions[r.User] = sess
 	}
 	d.procMu.Lock()
 	d.mu.Lock()
@@ -215,31 +271,110 @@ func (d *Detector) installRecords(recs []sessionRecord, hw int64, st *Stats) {
 	d.procMu.Unlock()
 }
 
+// mergeRecords overwrites only the listed users' sessions (the import
+// path): each record replaces that user's window wholesale, an empty record
+// removes it, and everyone else's window is untouched. Counters are not
+// folded — an import is a handoff, not a restart.
+func (d *Detector) mergeRecords(recs []SessionWindow, hw int64) {
+	d.procMu.Lock()
+	d.mu.Lock()
+	for _, r := range recs {
+		if sess := d.recordSession(r); sess != nil {
+			d.sessions[r.User] = sess
+		} else {
+			delete(d.sessions, r.User)
+		}
+	}
+	if hw > d.highWater {
+		d.highWater = hw
+	}
+	d.mu.Unlock()
+	d.procMu.Unlock()
+}
+
+// recordSession materializes one persisted window, trimming defensively to
+// the detector's cap (the invariant belongs to this process). Nil for an
+// empty record — the "remove this user" marker.
+func (d *Detector) recordSession(r SessionWindow) *session {
+	if len(r.Entries) == 0 {
+		return nil
+	}
+	sess := &session{last: r.Last, entries: make([]entry, len(r.Entries))}
+	for i, e := range r.Entries {
+		sess.entries[i] = entry{time: e.Time, line: e.Line, score: e.Score}
+	}
+	if over := len(sess.entries) - d.cfg.MaxSessionLines; over > 0 {
+		sess.entries = sess.entries[over:]
+	}
+	return sess
+}
+
 // SaveSessions writes a checkpoint of the detector's per-user session
 // windows, counters, and high-water mark to w. Safe during serving: the
 // snapshot is taken under the state lock (consistent as of one instant) and
 // serialization happens outside it.
 func (d *Detector) SaveSessions(w io.Writer) error {
-	recs := d.sessionRecords()
+	recs := d.sessionRecords(nil)
 	d.mu.Lock()
 	st := d.stats
 	hw := d.highWater
+	m := d.modality
 	d.mu.Unlock()
-	return writeCheckpoint(w, d.cfg, recs, hw, st)
+	return writeCheckpoint(w, d.cfg, m, recs, hw, st)
+}
+
+// ExportSessions writes a checkpoint holding only the named users' windows
+// — the per-user refinement of SaveSessions the fleet handoff uses. A user
+// with no live session is simply absent from the export. users nil exports
+// everyone (equivalent to SaveSessions minus the counter fold on restore).
+func (d *Detector) ExportSessions(w io.Writer, users []string) error {
+	var filter map[string]bool
+	if users != nil {
+		filter = make(map[string]bool, len(users))
+		for _, u := range users {
+			filter[u] = true
+		}
+	}
+	recs := d.sessionRecords(filter)
+	d.mu.Lock()
+	hw := d.highWater
+	m := d.modality
+	d.mu.Unlock()
+	return writeCheckpoint(w, d.cfg, m, recs, hw, Stats{})
+}
+
+// ImportSessions merges a checkpoint written by ExportSessions (or
+// SaveSessions, or WriteSessionsCheckpoint) into the detector: each carried
+// user's window is replaced wholesale, an empty window removes the user,
+// and every other session is untouched. Unlike RestoreSessions it is meant
+// for live serving — the swap happens under the pipeline mutex, atomically
+// between batches — and it does not fold counters. Returns the number of
+// user windows applied.
+func (d *Detector) ImportSessions(r io.Reader) (int, error) {
+	hdr, recs, err := readCheckpoint(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkCompat(hdr, d.cfg, d.Modality()); err != nil {
+		return 0, err
+	}
+	d.mergeRecords(recs, hdr.HighWater)
+	return len(recs), nil
 }
 
 // RestoreSessions replaces the detector's session state with a checkpoint
 // written by SaveSessions (or ShardedDetector.SaveSessions), verifying the
 // format and payload checksum first and rejecting checkpoints whose session
-// semantics differ from the detector's. Meant for startup, before traffic;
-// it also folds the checkpointed counters into Stats so observability
-// survives the restart.
+// semantics or log modality differ from the detector's
+// (ErrCheckpointIncompatible). Meant for startup, before traffic; it also
+// folds the checkpointed counters into Stats so observability survives the
+// restart.
 func (d *Detector) RestoreSessions(r io.Reader) error {
 	hdr, recs, err := readCheckpoint(r)
 	if err != nil {
 		return err
 	}
-	if err := sessionsCompatible(hdr.Config.withDefaults(), d.cfg); err != nil {
+	if err := checkCompat(hdr, d.cfg, d.Modality()); err != nil {
 		return err
 	}
 	d.installRecords(recs, hdr.HighWater, &hdr.Stats)
@@ -252,12 +387,57 @@ func (d *Detector) RestoreSessions(r io.Reader) error {
 // snapshotted under its own lock — crash-consistent per user (a user lives
 // on exactly one shard), not globally instantaneous.
 func (d *ShardedDetector) SaveSessions(w io.Writer) error {
-	var recs []sessionRecord
+	var recs []SessionWindow
 	for _, det := range d.dets {
-		recs = append(recs, det.sessionRecords()...)
+		recs = append(recs, det.sessionRecords(nil)...)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
-	return writeCheckpoint(w, d.Config(), recs, d.HighWater(), d.Stats())
+	return writeCheckpoint(w, d.Config(), d.Modality(), recs, d.HighWater(), d.Stats())
+}
+
+// ExportSessions writes the named users' windows (everyone when users is
+// nil) as one checkpoint stream, fanning the filter out across shards. The
+// export is per-user crash-consistent, like SaveSessions.
+func (d *ShardedDetector) ExportSessions(w io.Writer, users []string) error {
+	var filter map[string]bool
+	if users != nil {
+		filter = make(map[string]bool, len(users))
+		for _, u := range users {
+			filter[u] = true
+		}
+	}
+	var recs []SessionWindow
+	for _, det := range d.dets {
+		recs = append(recs, det.sessionRecords(filter)...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
+	return writeCheckpoint(w, d.Config(), d.Modality(), recs, d.HighWater(), Stats{})
+}
+
+// ImportSessions merges a checkpoint into the sharded detector, re-routing
+// every carried user through the shard hash and replacing only those users'
+// windows (Detector.ImportSessions semantics, per shard). Safe during live
+// serving; returns the number of user windows applied.
+func (d *ShardedDetector) ImportSessions(r io.Reader) (int, error) {
+	hdr, recs, err := readCheckpoint(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkCompat(hdr, d.Config(), d.Modality()); err != nil {
+		return 0, err
+	}
+	n := len(d.dets)
+	parts := make([][]SessionWindow, n)
+	for _, rec := range recs {
+		sh := shardOf(rec.User, n)
+		parts[sh] = append(parts[sh], rec)
+	}
+	for i, det := range d.dets {
+		if len(parts[i]) > 0 {
+			det.mergeRecords(parts[i], hdr.HighWater)
+		}
+	}
+	return len(recs), nil
 }
 
 // RestoreSessions restores a checkpoint into the sharded detector,
@@ -270,11 +450,11 @@ func (d *ShardedDetector) RestoreSessions(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if err := sessionsCompatible(hdr.Config.withDefaults(), d.Config()); err != nil {
+	if err := checkCompat(hdr, d.Config(), d.Modality()); err != nil {
 		return err
 	}
 	n := len(d.dets)
-	parts := make([][]sessionRecord, n)
+	parts := make([][]SessionWindow, n)
 	for _, rec := range recs {
 		sh := shardOf(rec.User, n)
 		parts[sh] = append(parts[sh], rec)

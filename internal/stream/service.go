@@ -102,6 +102,10 @@ type ShardServiceStats struct {
 // Shards carries the per-shard breakdown (len 1 for an unsharded service).
 type ServiceStats struct {
 	Stats
+	// Config is the resolved session configuration — the fleet router reads
+	// it off /stats to mirror session semantics (shadow windows, handoff
+	// checkpoints) and to refuse replicas whose configs disagree.
+	Config Config `json:"config"`
 	// QueueDepth is the number of requests waiting across all shard queues
 	// at snapshot time.
 	QueueDepth int `json:"queue_depth"`
@@ -394,6 +398,7 @@ func (s *Service) Close() {
 func (s *Service) Stats() ServiceStats {
 	st := ServiceStats{
 		Stats:          s.sd.Stats(),
+		Config:         s.sd.Config(),
 		OverloadPolicy: s.cfg.Overload.String(),
 		ShedRequests:   s.shed.Load(),
 		Shards:         make([]ShardServiceStats, len(s.shards)),
@@ -482,6 +487,50 @@ func (s *Service) SaveSessions(w io.Writer) error { return s.sd.SaveSessions(w) 
 // RestoreSessions restores a checkpoint into the underlying detector; see
 // ShardedDetector.RestoreSessions. Meant for startup, before traffic.
 func (s *Service) RestoreSessions(r io.Reader) error { return s.sd.RestoreSessions(r) }
+
+// ExportSessions writes the named users' windows (everyone when users is
+// nil) as a checkpoint stream; see ShardedDetector.ExportSessions. Safe
+// during live serving — the fleet drain/handoff path.
+func (s *Service) ExportSessions(w io.Writer, users []string) error {
+	return s.sd.ExportSessions(w, users)
+}
+
+// ImportSessions merges a checkpoint's user windows into the live
+// detector, replacing only the carried users; see
+// ShardedDetector.ImportSessions. Safe during live serving — the fleet
+// failover path.
+func (s *Service) ImportSessions(r io.Reader) (int, error) {
+	return s.sd.ImportSessions(r)
+}
+
+// Config returns the resolved session configuration the service runs
+// (surfaced in Stats so a fleet router can verify every replica agrees
+// before trusting cross-replica session handoffs).
+func (s *Service) Config() Config { return s.sd.Config() }
+
+// CloseTimeout is Close bounded by a deadline: it drains like Close but
+// gives up waiting after d, returning false — the wedged-shard case, where
+// a stuck scorer would otherwise hang shutdown forever. The drain keeps
+// running in the background (workers still answer whatever they can); the
+// caller proceeds to final checkpointing with whatever committed. d <= 0
+// waits indefinitely (plain Close semantics, returns true).
+func (s *Service) CloseTimeout(d time.Duration) bool {
+	if d <= 0 {
+		s.Close()
+		return true
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
 
 // worker drains one shard's queue until it is closed and empty, coalescing
 // requests up to BatchEvents per scoring call.

@@ -9,13 +9,22 @@ import (
 )
 
 // slowScorer blocks until released, so tests can pile up queued requests.
+// An optional entered channel (buffered, non-blocking send) lets a test
+// wait until the worker is actually inside Score.
 type slowScorer struct {
-	gate  chan struct{}
-	calls atomic.Int64
+	gate    chan struct{}
+	entered chan struct{}
+	calls   atomic.Int64
 }
 
 func (s *slowScorer) Score(lines []string) ([]float64, error) {
 	s.calls.Add(1)
+	if s.entered != nil {
+		select {
+		case s.entered <- struct{}{}:
+		default:
+		}
+	}
 	<-s.gate
 	return make([]float64, len(lines)), nil
 }
@@ -106,22 +115,33 @@ func TestServiceBackpressureAndDrain(t *testing.T) {
 // TestServiceCoalescing: queued single-event requests merge into one
 // Detector.Process (and so one Score call).
 func TestServiceCoalescing(t *testing.T) {
-	scorer := &slowScorer{gate: make(chan struct{})}
+	scorer := &slowScorer{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
 	det := NewDetector(scorer, DefaultConfig())
 	svc := NewService(det, ServiceConfig{QueueRequests: 16, BatchEvents: 64})
 
 	var wg sync.WaitGroup
-	for i := 0; i < 9; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if _, err := svc.Submit([]Event{ev("u", int64(i), fmt.Sprintf("c%d", i))}); err != nil {
-				t.Errorf("submit: %v", err)
-			}
-		}(i)
+	submit := func(i int) {
+		defer wg.Done()
+		if _, err := svc.Submit([]Event{ev("u", int64(i), fmt.Sprintf("c%d", i))}); err != nil {
+			t.Errorf("submit: %v", err)
+		}
 	}
-	// Wait until one request is in the worker and the rest are queued.
-	deadline := time.After(2 * time.Second)
+	// Land the first request in the worker alone: wait until the scorer is
+	// inside Score before submitting the rest, so they are guaranteed to
+	// queue behind it instead of riding along in its batch.
+	wg.Add(1)
+	go submit(0)
+	select {
+	case <-scorer.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never entered Score")
+	}
+	for i := 1; i < 9; i++ {
+		wg.Add(1)
+		go submit(i)
+	}
+	// Wait until the other eight are queued behind the blocked worker.
+	deadline := time.After(5 * time.Second)
 	for svc.Stats().QueueDepth < 8 {
 		select {
 		case <-deadline:
